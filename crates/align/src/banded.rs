@@ -1,0 +1,170 @@
+//! Fixed-band global alignment.
+//!
+//! A deterministic-cost middle ground between the exact O(nm) kernels and
+//! the adaptive X-drop extension: the DP is evaluated only on the diagonal
+//! band `|i - j·n/m| ≤ band`, giving O(max(n, m)·band) time. Useful when
+//! the expected divergence (and therefore the necessary band) is known —
+//! e.g. re-aligning a pair already accepted by the pipeline, or polishing.
+
+use crate::scoring::ScoringScheme;
+
+/// Result of a banded global alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandedScore {
+    /// Alignment score (a lower bound on the unbanded global score; equal
+    /// to it when the optimal path stays inside the band).
+    pub score: i32,
+    /// DP cells evaluated.
+    pub cells: u64,
+}
+
+/// "Minus infinity" for out-of-band cells.
+const NEG: i32 = i32::MIN / 4;
+
+/// Computes a global alignment score constrained to a band of half-width
+/// `band` around the length-proportional diagonal.
+///
+/// # Panics
+/// Panics if `band == 0`.
+pub fn banded_global(a: &[u8], b: &[u8], sc: &ScoringScheme, band: usize) -> BandedScore {
+    assert!(band >= 1, "band must be at least 1");
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return BandedScore {
+            score: (n + m) as i32 * sc.gap,
+            cells: 0,
+        };
+    }
+    // For each row i, the band covers columns centred at i*m/n.
+    let centre = |i: usize| i * m / n;
+    let lo = |i: usize| centre(i).saturating_sub(band);
+    let hi = |i: usize| (centre(i) + band).min(m);
+
+    // prev[j] = H(i-1, j), stored densely over 0..=m but only band columns
+    // are live; out-of-band entries hold NEG.
+    let mut prev = vec![NEG; m + 1];
+    let mut cur = vec![NEG; m + 1];
+    let mut cells = 0u64;
+    for j in 0..=hi(0) {
+        prev[j] = j as i32 * sc.gap;
+    }
+    for i in 1..=n {
+        let (l, h) = (lo(i), hi(i));
+        // Clear one slot beyond each edge so stale values never leak in.
+        if l > 0 {
+            cur[l - 1] = NEG;
+        }
+        for j in l..=h {
+            let mut best = NEG;
+            if j == 0 {
+                best = i as i32 * sc.gap;
+            } else {
+                let diag = prev[j - 1];
+                if diag > NEG {
+                    best = best.max(diag + sc.substitution(a[i - 1], b[j - 1]));
+                }
+                let up = prev[j];
+                if up > NEG {
+                    best = best.max(up + sc.gap);
+                }
+                let left = cur[j - 1];
+                if left > NEG {
+                    best = best.max(left + sc.gap);
+                }
+            }
+            cur[j] = best;
+            cells += 1;
+        }
+        if h < m {
+            cur[h + 1] = NEG;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    BandedScore {
+        score: prev[m],
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::global_score;
+
+    const SC: ScoringScheme = ScoringScheme::DEFAULT;
+
+    #[test]
+    fn wide_band_matches_exact_global() {
+        let a = b"ACGGATTACAGGATCCGATTACA";
+        let b = b"ACGGATTTACAGGTCCGATTACA";
+        let exact = global_score(a, b, &SC).score;
+        let banded = banded_global(a, b, &SC, a.len().max(b.len()));
+        assert_eq!(banded.score, exact);
+    }
+
+    #[test]
+    fn identity_any_band() {
+        let s = b"GATTACAGATTACA";
+        for band in [1usize, 2, 5, 20] {
+            let r = banded_global(s, s, &SC, band);
+            assert_eq!(r.score, s.len() as i32, "band {band}");
+        }
+    }
+
+    #[test]
+    fn banded_never_exceeds_exact() {
+        let a = b"ACGTACGTACGTGGGG";
+        let b = b"TTTACGTACGTACGT";
+        let exact = global_score(a, b, &SC).score;
+        for band in 1..=16 {
+            let r = banded_global(a, b, &SC, band);
+            assert!(r.score <= exact, "band {band}: {} > {exact}", r.score);
+        }
+    }
+
+    #[test]
+    fn band_monotone() {
+        // Widening the band can only help.
+        let a = b"ACGGATTACAGGATCCGATTACAGGA";
+        let b = b"ACATTACAGGATCCGATTAGGA";
+        let mut last = NEG;
+        for band in 1..=26 {
+            let r = banded_global(a, b, &SC, band);
+            assert!(r.score >= last, "band {band}");
+            last = r.score;
+        }
+    }
+
+    #[test]
+    fn cells_scale_with_band() {
+        let a = vec![b'A'; 500];
+        let b = vec![b'A'; 500];
+        let narrow = banded_global(&a, &b, &SC, 5);
+        let wide = banded_global(&a, &b, &SC, 50);
+        assert!(narrow.cells < wide.cells / 4);
+        assert_eq!(narrow.score, 500);
+    }
+
+    #[test]
+    fn unequal_lengths() {
+        // Deletion of 3 bases; the proportional band centre follows it.
+        let a = b"AAAAACCCCCGGGGGTTTTT";
+        let b = b"AAAAACCCGGGGGTTTTT";
+        let exact = global_score(a, b, &SC).score;
+        let r = banded_global(a, b, &SC, 6);
+        assert_eq!(r.score, exact);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(banded_global(b"", b"ACG", &SC, 3).score, 3 * SC.gap);
+        assert_eq!(banded_global(b"ACG", b"", &SC, 3).score, 3 * SC.gap);
+        assert_eq!(banded_global(b"", b"", &SC, 1).score, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "band")]
+    fn zero_band_rejected() {
+        let _ = banded_global(b"A", b"A", &SC, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Host calibration: DP-cell throughput of the X-drop kernel.
+//!
+//! The simulator expresses alignment work in DP cells (a machine-independent
+//! unit every kernel in this crate reports). To convert cells into simulated
+//! seconds on a Cori KNL core, we measure the host's cells-per-second on a
+//! representative extension and scale by a configurable host→KNL factor
+//! (KNL cores run at 1.4 GHz with weak single-thread IPC; the default
+//! factor is documented in EXPERIMENTS.md). Absolute times are therefore
+//! approximate by design — the paper's *shapes* do not depend on them.
+
+use crate::scoring::ScoringScheme;
+use crate::xdrop::XDropAligner;
+use std::time::Instant;
+
+/// Measured DP-cell throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellRate {
+    /// Cells per second on this host (single thread).
+    pub host_cells_per_sec: f64,
+    /// Cells evaluated during measurement.
+    pub cells: u64,
+}
+
+impl CellRate {
+    /// Cells per second of a simulated KNL core, given a host→KNL slowdown
+    /// factor (> 0; e.g. 4.0 means one KNL core is 4× slower than the host).
+    pub fn knl_cells_per_sec(&self, host_to_knl_slowdown: f64) -> f64 {
+        assert!(host_to_knl_slowdown > 0.0);
+        self.host_cells_per_sec / host_to_knl_slowdown
+    }
+}
+
+/// Measures X-drop cell throughput by running repeated extensions over a
+/// pseudo-random near-identical pair (the common case: a true overlap).
+///
+/// `target_cells` bounds the measurement work; a few million cells gives a
+/// stable estimate in well under a second.
+pub fn measure_cell_rate(target_cells: u64) -> CellRate {
+    let n = 8192usize;
+    let bases = b"ACGT";
+    let a: Vec<u8> = (0..n).map(|i| bases[(i * 7 + i / 5 + 3) % 4]).collect();
+    let mut b = a.clone();
+    // ~5% substitutions keep the band realistically wide.
+    for i in (0..n).step_by(20) {
+        b[i] = bases[(a[i] as usize + 1) % 4];
+    }
+    let sc = ScoringScheme::DEFAULT;
+    let mut aligner = XDropAligner::new();
+
+    // Warm-up pass (page in buffers, settle frequency scaling).
+    let _ = aligner.extend(&a, &b, &sc, 50);
+
+    let start = Instant::now();
+    let mut cells = 0u64;
+    while cells < target_cells {
+        let ext = aligner.extend(&a, &b, &sc, 50);
+        cells += ext.cells;
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    CellRate {
+        host_cells_per_sec: cells as f64 / secs,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_positive_and_plausible() {
+        let r = measure_cell_rate(2_000_000);
+        assert!(r.cells >= 2_000_000);
+        // Any machine newer than a 2005 laptop does 10^6..10^10 cells/s.
+        assert!(
+            r.host_cells_per_sec > 1e6 && r.host_cells_per_sec < 1e11,
+            "rate {}",
+            r.host_cells_per_sec
+        );
+    }
+
+    #[test]
+    fn knl_scaling() {
+        let r = CellRate {
+            host_cells_per_sec: 1e8,
+            cells: 0,
+        };
+        assert!((r.knl_cells_per_sec(4.0) - 2.5e7).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slowdown_rejected() {
+        let r = CellRate {
+            host_cells_per_sec: 1e8,
+            cells: 0,
+        };
+        let _ = r.knl_cells_per_sec(0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Smith–Waterman local alignment (exact, O(nm)).
+//!
+//! The exact local aligner is the oracle for X-drop validation: an X-drop
+//! extension anchored anywhere can never out-score the optimal local
+//! alignment, and for generous X the two coincide on well-matched pairs.
+
+use crate::scoring::ScoringScheme;
+
+/// Result of a local alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Best local score (≥ 0).
+    pub score: i32,
+    /// End position in `a` (exclusive; 0 if the best alignment is empty).
+    pub a_end: usize,
+    /// End position in `b` (exclusive).
+    pub b_end: usize,
+    /// DP cells evaluated.
+    pub cells: u64,
+}
+
+/// Computes the optimal local alignment score of `a` vs `b` and where it
+/// ends. Linear space (two rows); ties broken toward the smallest
+/// `(a_end, b_end)` for determinism.
+pub fn local_align(a: &[u8], b: &[u8], sc: &ScoringScheme) -> LocalAlignment {
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<i32> = vec![0; m + 1];
+    let mut cur: Vec<i32> = vec![0; m + 1];
+    let mut best = LocalAlignment {
+        score: 0,
+        a_end: 0,
+        b_end: 0,
+        cells: (n as u64) * (m as u64),
+    };
+    for i in 1..=n {
+        cur[0] = 0;
+        let ai = a[i - 1];
+        for j in 1..=m {
+            let diag = prev[j - 1] + sc.substitution(ai, b[j - 1]);
+            let up = prev[j] + sc.gap;
+            let left = cur[j - 1] + sc.gap;
+            let h = diag.max(up).max(left).max(0);
+            cur[j] = h;
+            if h > best.score {
+                best.score = h;
+                best.a_end = i;
+                best.b_end = j;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// One CIGAR-style alignment operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CigarOp {
+    /// Matching bases (`=`).
+    Match(u32),
+    /// Substitution (`X`).
+    Mismatch(u32),
+    /// Insertion relative to `b` — consumes `a` only (`I`).
+    Ins(u32),
+    /// Deletion relative to `b` — consumes `b` only (`D`).
+    Del(u32),
+}
+
+/// A local alignment with its traceback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedAlignment {
+    /// Score and end coordinates.
+    pub aln: LocalAlignment,
+    /// Start of the aligned span in `a` (inclusive).
+    pub a_begin: usize,
+    /// Start of the aligned span in `b` (inclusive).
+    pub b_begin: usize,
+    /// Run-length-encoded operations from `(a_begin, b_begin)` to the end.
+    pub cigar: Vec<CigarOp>,
+}
+
+impl TracedAlignment {
+    /// The CIGAR as a compact string (`=XID` alphabet).
+    pub fn cigar_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for op in &self.cigar {
+            let (n, c) = match op {
+                CigarOp::Match(n) => (n, '='),
+                CigarOp::Mismatch(n) => (n, 'X'),
+                CigarOp::Ins(n) => (n, 'I'),
+                CigarOp::Del(n) => (n, 'D'),
+            };
+            let _ = write!(s, "{n}{c}");
+        }
+        s
+    }
+}
+
+/// Smith–Waterman with full traceback.
+///
+/// Keeps an O(nm) byte matrix of backpointers — intended for inspecting
+/// individual alignments (report generation, validation), not for the bulk
+/// many-to-many pipeline, which only needs scores and extents.
+pub fn local_align_traced(a: &[u8], b: &[u8], sc: &ScoringScheme) -> TracedAlignment {
+    const STOP: u8 = 0;
+    const DIAG: u8 = 1;
+    const UP: u8 = 2; // consumes a
+    const LEFT: u8 = 3; // consumes b
+    let (n, m) = (a.len(), b.len());
+    let mut ptr = vec![STOP; (n + 1) * (m + 1)];
+    let mut prev: Vec<i32> = vec![0; m + 1];
+    let mut cur: Vec<i32> = vec![0; m + 1];
+    let mut best = LocalAlignment {
+        score: 0,
+        a_end: 0,
+        b_end: 0,
+        cells: (n as u64) * (m as u64),
+    };
+    for i in 1..=n {
+        cur[0] = 0;
+        for j in 1..=m {
+            let diag = prev[j - 1] + sc.substitution(a[i - 1], b[j - 1]);
+            let up = prev[j] + sc.gap;
+            let left = cur[j - 1] + sc.gap;
+            // Deterministic preference: diag > up > left > stop.
+            let (h, p) = [(diag, DIAG), (up, UP), (left, LEFT), (0, STOP)]
+                .into_iter()
+                .max_by_key(|&(v, tag)| (v, std::cmp::Reverse(tag)))
+                .unwrap();
+            cur[j] = h;
+            ptr[i * (m + 1) + j] = if h == 0 { STOP } else { p };
+            if h > best.score {
+                best.score = h;
+                best.a_end = i;
+                best.b_end = j;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    // Walk back from the best cell.
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let (mut i, mut j) = (best.a_end, best.b_end);
+    let push = |op: CigarOp, ops: &mut Vec<CigarOp>| match (ops.last_mut(), op) {
+        (Some(CigarOp::Match(n)), CigarOp::Match(k)) => *n += k,
+        (Some(CigarOp::Mismatch(n)), CigarOp::Mismatch(k)) => *n += k,
+        (Some(CigarOp::Ins(n)), CigarOp::Ins(k)) => *n += k,
+        (Some(CigarOp::Del(n)), CigarOp::Del(k)) => *n += k,
+        (_, op) => ops.push(op),
+    };
+    while i > 0 && j > 0 {
+        match ptr[i * (m + 1) + j] {
+            DIAG => {
+                let op = if a[i - 1] == b[j - 1] && a[i - 1] != b'N' {
+                    CigarOp::Match(1)
+                } else {
+                    CigarOp::Mismatch(1)
+                };
+                push(op, &mut ops_rev);
+                i -= 1;
+                j -= 1;
+            }
+            UP => {
+                push(CigarOp::Ins(1), &mut ops_rev);
+                i -= 1;
+            }
+            LEFT => {
+                push(CigarOp::Del(1), &mut ops_rev);
+                j -= 1;
+            }
+            _ => break, // STOP
+        }
+    }
+    ops_rev.reverse();
+    TracedAlignment {
+        aln: best,
+        a_begin: i,
+        b_begin: j,
+        cigar: ops_rev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SC: ScoringScheme = ScoringScheme::DEFAULT;
+
+    #[test]
+    fn identical_strings() {
+        let r = local_align(b"ACGT", b"ACGT", &SC);
+        assert_eq!(r.score, 4);
+        assert_eq!((r.a_end, r.b_end), (4, 4));
+    }
+
+    #[test]
+    fn traceback_identity() {
+        let t = local_align_traced(b"ACGTACGT", b"ACGTACGT", &SC);
+        assert_eq!(t.aln.score, 8);
+        assert_eq!(t.a_begin, 0);
+        assert_eq!(t.cigar, vec![CigarOp::Match(8)]);
+        assert_eq!(t.cigar_string(), "8=");
+    }
+
+    #[test]
+    fn traceback_substitution() {
+        let t = local_align_traced(b"AAAACAAAA", b"AAAAGAAAA", &SC);
+        // 4 match, 1 mismatch (-2), 4 match = 6; still optimal locally.
+        assert_eq!(t.aln.score, 6);
+        assert_eq!(t.cigar_string(), "4=1X4=");
+    }
+
+    #[test]
+    fn traceback_indel() {
+        let t = local_align_traced(b"AAAATTTT", b"AAAACTTTT", &SC);
+        assert_eq!(t.cigar_string(), "4=1D4=");
+        let t = local_align_traced(b"AAAACTTTT", b"AAAATTTT", &SC);
+        assert_eq!(t.cigar_string(), "4=1I4=");
+    }
+
+    #[test]
+    fn traceback_trims_to_local_core() {
+        // Junk flanks: the traceback must cover only the common core.
+        let t = local_align_traced(b"TTTTGATTACA", b"CCCCGATTACA", &SC);
+        assert_eq!(t.aln.score, 7);
+        assert_eq!(t.a_begin, 4);
+        assert_eq!(t.b_begin, 4);
+        assert_eq!(t.cigar_string(), "7=");
+    }
+
+    #[test]
+    fn traceback_score_consistency() {
+        // Recomputing the score from the CIGAR reproduces the DP score,
+        // and spans are consumed exactly.
+        let a = b"ACGGATTACAGGATCCGATTAC";
+        let b = b"ACGGATTTACAGGTCCGATTAC";
+        let t = local_align_traced(a, b, &SC);
+        assert_eq!(t.aln.score, local_align(a, b, &SC).score);
+        let (mut score, mut ai, mut bj) = (0i32, t.a_begin, t.b_begin);
+        for op in &t.cigar {
+            match *op {
+                CigarOp::Match(n) => {
+                    for _ in 0..n {
+                        assert_eq!(a[ai], b[bj]);
+                        score += SC.match_score;
+                        ai += 1;
+                        bj += 1;
+                    }
+                }
+                CigarOp::Mismatch(n) => {
+                    for _ in 0..n {
+                        assert!(a[ai] != b[bj] || a[ai] == b'N');
+                        score += SC.mismatch;
+                        ai += 1;
+                        bj += 1;
+                    }
+                }
+                CigarOp::Ins(n) => {
+                    score += SC.gap * n as i32;
+                    ai += n as usize;
+                }
+                CigarOp::Del(n) => {
+                    score += SC.gap * n as i32;
+                    bj += n as usize;
+                }
+            }
+        }
+        assert_eq!(score, t.aln.score);
+        assert_eq!(ai, t.aln.a_end);
+        assert_eq!(bj, t.aln.b_end);
+    }
+
+    #[test]
+    fn traceback_empty_alignment() {
+        let t = local_align_traced(b"AAAA", b"TTTT", &SC);
+        assert_eq!(t.aln.score, 0);
+        assert!(t.cigar.is_empty());
+        assert_eq!(t.cigar_string(), "");
+    }
+
+    #[test]
+    fn embedded_match() {
+        // Best local alignment is the common core "GATTACA".
+        let r = local_align(b"TTTTGATTACATTTT", b"CCCGATTACACCC", &SC);
+        assert_eq!(r.score, 7);
+        assert_eq!(r.a_end, 11);
+        assert_eq!(r.b_end, 10);
+    }
+
+    #[test]
+    fn disjoint_strings_score_small() {
+        let r = local_align(b"AAAAAAA", b"TTTTTTT", &SC);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn local_at_least_global() {
+        let a = b"GATTACAGATTACA";
+        let b = b"GATCACAGTTAC";
+        let g = crate::nw::global_score(a, b, &SC).score;
+        let l = local_align(a, b, &SC).score;
+        assert!(l >= g);
+        assert!(l >= 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(local_align(b"", b"ACGT", &SC).score, 0);
+        assert_eq!(local_align(b"ACGT", b"", &SC).score, 0);
+        assert_eq!(local_align(b"", b"", &SC).score, 0);
+    }
+
+    #[test]
+    fn symmetry_of_score() {
+        let a = b"ACGGTTACGATCG";
+        let b = b"CGGTAACGTTCG";
+        assert_eq!(local_align(a, b, &SC).score, local_align(b, a, &SC).score);
+    }
+
+    #[test]
+    fn n_runs_do_not_align() {
+        // N-vs-N is a mismatch, so an all-N pair has no positive alignment.
+        let r = local_align(b"NNNNNN", b"NNNNNN", &SC);
+        assert_eq!(r.score, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Kernel microbenchmarks: exact DP baselines versus X-drop, and the
+//! X-threshold sweep that governs the paper's early-termination behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnb_align::nw::global_score;
+use gnb_align::sw::local_align;
+use gnb_align::xdrop::XDropAligner;
+use gnb_align::ScoringScheme;
+
+fn rand_seq(salt: u64, n: usize) -> Vec<u8> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = (i ^ (salt << 32)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            b"ACGT"[((z ^ (z >> 31)) & 3) as usize]
+        })
+        .collect()
+}
+
+/// An overlapping pair with ~5% substitution divergence.
+fn noisy_pair(n: usize) -> (Vec<u8>, Vec<u8>) {
+    let a = rand_seq(1, n);
+    let mut b = a.clone();
+    for i in (0..n).step_by(20) {
+        b[i] = if b[i] == b'A' { b'C' } else { b'A' };
+    }
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let sc = ScoringScheme::DEFAULT;
+    let mut group = c.benchmark_group("kernels");
+    for &n in &[256usize, 1024, 4096] {
+        let (a, b) = noisy_pair(n);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("smith_waterman", n), &n, |bch, _| {
+            bch.iter(|| local_align(&a, &b, &sc).score)
+        });
+        group.bench_with_input(BenchmarkId::new("needleman_wunsch", n), &n, |bch, _| {
+            bch.iter(|| global_score(&a, &b, &sc).score)
+        });
+        let mut aligner = XDropAligner::new();
+        group.bench_with_input(BenchmarkId::new("xdrop_x25", n), &n, |bch, _| {
+            bch.iter(|| aligner.extend(&a, &b, &sc, 25).score)
+        });
+    }
+    group.finish();
+}
+
+fn bench_xdrop_threshold(c: &mut Criterion) {
+    let sc = ScoringScheme::DEFAULT;
+    let (a, b) = noisy_pair(8192);
+    let mut aligner = XDropAligner::new();
+    let mut group = c.benchmark_group("xdrop_threshold");
+    for &x in &[5i32, 15, 25, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |bch, &x| {
+            bch.iter(|| aligner.extend(&a, &b, &sc, x).cells)
+        });
+    }
+    group.finish();
+}
+
+fn bench_false_positive_termination(c: &mut Criterion) {
+    // The paper's central cost asymmetry: a true 8 kbp overlap versus an
+    // unrelated pair that dies within a few antidiagonals.
+    let sc = ScoringScheme::DEFAULT;
+    let (a, b) = noisy_pair(8192);
+    let unrelated = rand_seq(99, 8192);
+    let mut aligner = XDropAligner::new();
+    let mut group = c.benchmark_group("cost_asymmetry");
+    group.bench_function("true_overlap_8k", |bch| {
+        bch.iter(|| aligner.extend(&a, &b, &sc, 25).cells)
+    });
+    group.bench_function("false_positive_8k", |bch| {
+        bch.iter(|| aligner.extend(&a, &unrelated, &sc, 25).cells)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels, bench_xdrop_threshold, bench_false_positive_termination
+}
+criterion_main!(benches);

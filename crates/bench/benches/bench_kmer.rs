@@ -1,0 +1,60 @@
+//! k-mer extraction and counting throughput (DiBELLA stage-2 analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnb_genome::presets;
+use gnb_kmer::{count_kmers, count_kmers_serial, kmers_of, Kmer};
+
+fn bench_extraction(c: &mut Criterion) {
+    let preset = presets::ecoli_30x().scaled(512);
+    let reads = preset.generate(5);
+    let total: usize = reads.total_bases();
+    let mut group = c.benchmark_group("kmer_extraction");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("iterate_k17", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (_, seq) in reads.iter() {
+                for (_, km) in kmers_of(seq, 17) {
+                    acc = acc.wrapping_add(km.0);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let preset = presets::ecoli_30x().scaled(512);
+    let reads = preset.generate(6);
+    let mut group = c.benchmark_group("kmer_counting");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(reads.total_bases() as u64));
+    for &k in &[13usize, 17, 31] {
+        group.bench_with_input(BenchmarkId::new("serial", k), &k, |b, &k| {
+            b.iter(|| count_kmers_serial(&reads, k).distinct())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", k), &k, |b, &k| {
+            b.iter(|| count_kmers(&reads, k).distinct())
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonical(c: &mut Criterion) {
+    let kmers: Vec<Kmer> = (0..4096u64).map(|i| Kmer(i.wrapping_mul(0x9E37_79B9))).collect();
+    c.bench_function("canonicalize_4k", |b| {
+        b.iter(|| {
+            kmers
+                .iter()
+                .fold(0u64, |acc, km| acc.wrapping_add(km.canonical(17).0))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extraction, bench_counting, bench_canonical
+}
+criterion_main!(benches);

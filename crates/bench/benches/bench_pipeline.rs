@@ -1,0 +1,41 @@
+//! End-to-end shared-memory pipeline throughput on a small synthetic
+//! E. coli workload (the downstream-user path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gnb_core::pipeline::{run_pipeline, PipelineParams};
+use gnb_genome::presets;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let preset = presets::ecoli_30x().scaled(1024);
+    let reads = preset.generate(9);
+    let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(reads.total_bases() as u64));
+    group.bench_function("ecoli30x_scaled1024_end_to_end", |b| {
+        b.iter(|| run_pipeline(&reads, &params).accepted())
+    });
+    group.finish();
+}
+
+fn bench_alignment_stage(c: &mut Criterion) {
+    let preset = presets::ecoli_30x().scaled(1024);
+    let reads = preset.generate(10);
+    let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    // Precompute candidates once; benchmark the alignment stage alone.
+    let res = run_pipeline(&reads, &params);
+    let mut group = c.benchmark_group("pipeline_align_stage");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(res.tasks.len() as u64));
+    group.bench_function("align_batch", |b| {
+        b.iter(|| gnb_align::align_batch(&reads, &res.tasks, &params.align).total_cells)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline, bench_alignment_stage
+}
+criterion_main!(benches);

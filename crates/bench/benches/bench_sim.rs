@@ -1,0 +1,105 @@
+//! DES engine throughput: events per second under message-heavy and
+//! barrier-heavy rank programs, plus the collective cost model itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnb_sim::coll::{alltoallv_time, CollParams, ExchangeLoad};
+use gnb_sim::engine::{Ctx, Program, TimeCategory};
+use gnb_sim::{Engine, NetParams, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    Token { hops: u32 },
+}
+
+struct Ring {
+    start_hops: u32,
+}
+
+impl Program<Msg> for Ring {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let next = (ctx.rank() + 1) % ctx.nranks();
+        ctx.send(next, 64, Msg::Token { hops: self.start_hops });
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _src: usize, Msg::Token { hops }: Msg) {
+        ctx.advance(SimTime::from_ns(200), TimeCategory::Compute);
+        if hops > 0 {
+            let next = (ctx.rank() + 1) % ctx.nranks();
+            ctx.send(next, 64, Msg::Token { hops: hops - 1 });
+        }
+    }
+    fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+}
+
+struct BarrierLoop {
+    remaining: u64,
+}
+
+impl Program<Msg> for BarrierLoop {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.barrier_enter(0);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {}
+    fn on_barrier(&mut self, ctx: &mut Ctx<'_, Msg>, id: u64) {
+        ctx.advance(SimTime::from_ns(100 * (ctx.rank() as u64 + 1)), TimeCategory::Compute);
+        if id < self.remaining {
+            ctx.barrier_enter(id + 1);
+        }
+    }
+}
+
+fn net() -> NetParams {
+    NetParams::default()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    for &ranks in &[64usize, 512] {
+        let hops = 2_000u32;
+        let events = (ranks as u64) * (hops as u64 + 2);
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("message_ring", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                let mut progs: Vec<Ring> = (0..r).map(|_| Ring { start_hops: hops }).collect();
+                Engine::new(r, net()).run(&mut progs).events
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("barrier_loop", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                let mut progs: Vec<BarrierLoop> =
+                    (0..r).map(|_| BarrierLoop { remaining: 100 }).collect();
+                Engine::new(r, net()).run(&mut progs).events
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coll_model(c: &mut Criterion) {
+    let p = CollParams::from_net(&net());
+    c.bench_function("alltoallv_model_32k", |b| {
+        b.iter(|| {
+            let mut acc = SimTime::ZERO;
+            for ranks in [512usize, 2048, 8192, 32768] {
+                acc += alltoallv_time(
+                    &p,
+                    &ExchangeLoad {
+                        nranks: ranks,
+                        nnodes: ranks / 64,
+                        max_send: 1 << 24,
+                        max_recv: 1 << 24,
+                        active_peers: ranks - 1,
+                        volume_scale: 1.0,
+                    },
+                );
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine, bench_coll_model
+}
+criterion_main!(benches);

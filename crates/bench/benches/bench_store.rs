@@ -1,0 +1,70 @@
+//! Fig. 13's microcosm: traversal of flat structure-of-arrays versus
+//! pointer-based task stores — "the classic trade-off of performance and
+//! programmability" (§4.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnb_align::Candidate;
+use gnb_overlap::store::{FlatTaskStore, PointerTaskStore, TaskStore};
+
+fn make_groups(ngroups: usize, tasks_per_group: usize) -> Vec<(u32, Vec<Candidate>)> {
+    (0..ngroups as u32)
+        .map(|g| {
+            let tasks = (0..tasks_per_group as u32)
+                .map(|i| Candidate {
+                    a: g,
+                    b: g * 7 + i + 1,
+                    a_pos: i * 3,
+                    b_pos: i * 5,
+                    same_strand: (g + i) % 2 == 0,
+                })
+                .collect();
+            (g * 2, tasks)
+        })
+        .collect()
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_traversal");
+    for &(ngroups, per) in &[(1_000usize, 4usize), (20_000, 4), (20_000, 16)] {
+        let total = (ngroups * per) as u64;
+        let flat = FlatTaskStore::from_groups(make_groups(ngroups, per));
+        let ptr = PointerTaskStore::from_groups(make_groups(ngroups, per));
+        group.throughput(Throughput::Elements(total));
+        let id = format!("{ngroups}x{per}");
+        group.bench_with_input(BenchmarkId::new("flat", &id), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                flat.traverse_with(|k, c| acc = acc.wrapping_add(k as u64 + c.b as u64));
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pointer", &id), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                ptr.traverse_with(|k, c| acc = acc.wrapping_add(k as u64 + c.b as u64));
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_construction");
+    group.sample_size(10);
+    let groups = make_groups(20_000, 8);
+    group.bench_function("flat", |b| {
+        b.iter(|| FlatTaskStore::from_groups(groups.clone()).task_count())
+    });
+    group.bench_function("pointer", |b| {
+        b.iter(|| PointerTaskStore::from_groups(groups.clone()).task_count())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_traversal, bench_construction
+}
+criterion_main!(benches);

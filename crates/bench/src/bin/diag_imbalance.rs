@@ -1,0 +1,65 @@
+//! Diagnostic: where does per-rank compute imbalance come from?
+
+use gnb_bench::{cli_args, load_workload};
+use gnb_core::CostModel;
+use gnb_core::machine::MachineConfig;
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("ecoli_100x", &args);
+    let nranks = 64;
+    let sim = w.prepare(nranks);
+    let m = MachineConfig::cori_knl(1);
+    let cost = CostModel::default();
+
+    let mut per_rank: Vec<(usize, f64, u64)> = Vec::new(); // (tasks, secs, recv)
+    for rd in &sim.per_rank {
+        let mut secs = 0.0;
+        let mut n = 0usize;
+        for (t, ov) in rd
+            .local
+            .iter()
+            .chain(rd.groups.iter().flat_map(|g| g.tasks.iter()))
+        {
+            secs += m.compute_secs(cost.cells(t, *ov));
+            n += 1;
+        }
+        per_rank.push((n, secs, rd.recv_bytes()));
+    }
+    let max_t = per_rank.iter().map(|x| x.0).max().unwrap();
+    let min_t = per_rank.iter().map(|x| x.0).min().unwrap();
+    let mean_s: f64 = per_rank.iter().map(|x| x.1).sum::<f64>() / nranks as f64;
+    let max_s = per_rank.iter().cloned().fold(0.0f64, |a, x| a.max(x.1));
+    println!("tasks/rank: min {min_t} max {max_t}");
+    println!("secs/rank: mean {mean_s:.1} max {max_s:.1} imb {:.2}", max_s / mean_s);
+    let mut sorted: Vec<(usize, f64, u64)> = per_rank.clone();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (i, (n, s, rb)) in sorted.iter().take(5).enumerate() {
+        println!("top{i}: tasks {n} secs {s:.1} recvMB {:.0}", *rb as f64 / 1e6);
+    }
+    for (i, (n, s, rb)) in sorted.iter().rev().take(3).enumerate() {
+        println!("bot{i}: tasks {n} secs {s:.1} recvMB {:.0}", *rb as f64 / 1e6);
+    }
+    // Distribution of costs per task overall.
+    let mut costs: Vec<f64> = Vec::new();
+    for rd in &sim.per_rank {
+        for (t, ov) in rd
+            .local
+            .iter()
+            .chain(rd.groups.iter().flat_map(|g| g.tasks.iter()))
+        {
+            costs.push(m.compute_secs(cost.cells(t, *ov)));
+        }
+    }
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| costs[(p * (costs.len() - 1) as f64) as usize];
+    println!(
+        "task cost ms: p10 {:.3} p50 {:.3} p90 {:.3} p99 {:.3} max {:.3} mean {:.3}",
+        q(0.1) * 1e3,
+        q(0.5) * 1e3,
+        q(0.9) * 1e3,
+        q(0.99) * 1e3,
+        costs.last().unwrap() * 1e3,
+        costs.iter().sum::<f64>() / costs.len() as f64 * 1e3
+    );
+}

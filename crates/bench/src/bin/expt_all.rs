@@ -1,0 +1,36 @@
+//! Runs every experiment binary in sequence (Table 1 and Figures 3–13 plus
+//! the intranode sweep). Equivalent to invoking each `expt_*` binary.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "expt_t1",
+        "expt_f03",
+        "expt_f04",
+        "expt_f05",
+        "expt_f06",
+        "expt_f07",
+        "expt_f08",
+        "expt_f09",
+        "expt_f10",
+        "expt_f11",
+        "expt_f12",
+        "expt_f13",
+        "expt_intranode",
+        "expt_window",
+        "expt_balance",
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall experiments completed; TSVs in results/");
+}

@@ -1,0 +1,76 @@
+//! Ablation (paper §5 future work): count-balanced versus cost-balanced
+//! task redistribution.
+//!
+//! The paper: "The variability in computational costs ... perhaps motivates
+//! a dynamic approach, but whether the performance improvements can
+//! compensate for the overheads of dynamic load balancing in practice will
+//! be the question." This experiment implements the *semi-static* variant
+//! (balance by modelled cost at redistribution time, zero runtime
+//! overhead) and measures how much of the synchronization time it removes.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_core::workload::{BalanceStrategy, SimWorkload};
+use gnb_core::CostModel;
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("ecoli_100x", &args);
+    banner(&format!(
+        "Ablation: count- vs cost-balanced redistribution, E. coli 100x (scale {})",
+        w.scale
+    ));
+
+    println!(
+        "{:>5} {:>6} {:<10} | {:>9} {:>9} {:>9} | {:>9}",
+        "nodes", "cores", "balance", "total(s)", "sync(s)", "imbal", "vs count"
+    );
+    let cfg = RunConfig::default();
+    let mut rows = Vec::new();
+    for nodes in [16usize, 64, 128] {
+        let machine = w.machine(nodes);
+        let mut count_total = 0.0;
+        for (name, strategy) in [
+            ("count", BalanceStrategy::TaskCount),
+            ("cost", BalanceStrategy::EstimatedCost(CostModel::default())),
+        ] {
+            let sim = SimWorkload::prepare_with(
+                &w.synth.lengths,
+                &w.synth.tasks,
+                &w.synth.overlap_len,
+                machine.nranks(),
+                strategy,
+            );
+            let r = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
+            let gain = if name == "count" {
+                count_total = r.runtime();
+                0.0
+            } else {
+                (count_total - r.runtime()) / count_total * 100.0
+            };
+            println!(
+                "{:>5} {:>6} {:<10} | {:>9.2} {:>9.2} {:>9.3} | {:>8.1}%",
+                nodes,
+                machine.nranks(),
+                name,
+                r.runtime(),
+                r.breakdown.sync.mean,
+                r.breakdown.compute_imbalance(),
+                gain
+            );
+            rows.push(format!(
+                "{nodes}\t{}\t{name}\t{:.4}\t{:.4}\t{:.4}",
+                machine.nranks(),
+                r.runtime(),
+                r.breakdown.sync.mean,
+                r.breakdown.compute_imbalance()
+            ));
+        }
+    }
+    write_tsv(
+        "ablation_balance.tsv",
+        "nodes\tcores\tstrategy\ttotal_s\tsync_s\tcompute_imbalance",
+        &rows,
+    );
+    println!("\nexpected shape: cost balancing cuts sync time / imbalance, most at scale");
+}

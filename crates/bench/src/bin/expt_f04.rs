@@ -1,0 +1,48 @@
+//! Figure 4: single-node (64-core) runtime breakdowns on two problem
+//! sizes — E. coli 30× and E. coli 100×.
+//!
+//! Paper findings: the larger problem is ≈94% compute-dominated versus
+//! ≈90% for the smaller one; the codes differ by ≈1 s (<0.3%) on the
+//! larger problem.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+
+fn main() {
+    let args = cli_args();
+    banner("Fig. 4: single-node breakdowns, two problem sizes");
+    println!(
+        "{:<12} {:<6} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "dataset", "algo", "total(s)", "align", "ovhd", "comm", "sync", "compute%"
+    );
+    let mut rows = Vec::new();
+    for name in ["ecoli_30x", "ecoli_100x"] {
+        let w = load_workload(name, &args);
+        let machine = w.machine(1); // 64 cores
+        let sim = w.prepare(machine.nranks());
+        let cfg = RunConfig::default();
+        let mut totals = Vec::new();
+        for algo in [Algorithm::Bsp, Algorithm::Async] {
+            let r = run_sim(&sim, &machine, algo, &cfg);
+            let b = &r.breakdown;
+            let compute_pct = (b.compute.mean + b.overhead.mean) / b.total * 100.0;
+            println!(
+                "{:<12} {:<6} | {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} | {:>8.1}%",
+                name, algo.to_string(), b.total, b.compute.mean, b.overhead.mean,
+                b.comm.mean, b.sync.mean, compute_pct
+            );
+            rows.push(format!("{name}\t{algo}\t{}\t{compute_pct:.2}", b.tsv_row()));
+            totals.push(b.total);
+        }
+        println!(
+            "  -> |BSP - Async| = {:.2}s ({:.2}%)",
+            (totals[0] - totals[1]).abs(),
+            (totals[0] - totals[1]).abs() / totals[0] * 100.0
+        );
+    }
+    write_tsv(
+        "f04_problem_sizes.tsv",
+        "dataset\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\tcompute_pct",
+        &rows,
+    );
+}

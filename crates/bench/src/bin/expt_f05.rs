@@ -1,0 +1,55 @@
+//! Figure 5: min/avg/max cumulative seed-and-extend time per rank and the
+//! resulting load imbalance, strong scaling Human CCS.
+//!
+//! Paper finding: work is balanced by task *count* but not cost, so the
+//! max/avg imbalance grows as ranks hold fewer (more variance-dominated)
+//! tasks.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv, HUMAN_NODES};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("human_ccs", &args);
+    banner(&format!(
+        "Fig. 5: alignment-time spread, Human CCS (scale {}, {} tasks)",
+        w.scale,
+        w.synth.tasks.len()
+    ));
+
+    println!(
+        "{:>5} {:>7} | {:>10} {:>10} {:>10} | {:>9}",
+        "nodes", "cores", "min(s)", "avg(s)", "max(s)", "imbalance"
+    );
+    let mut rows = Vec::new();
+    let cfg = RunConfig::default();
+    for &nodes in &HUMAN_NODES {
+        let machine = w.machine(nodes);
+        let sim = w.prepare(machine.nranks());
+        let r = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
+        let c = r.breakdown.compute;
+        println!(
+            "{:>5} {:>7} | {:>10.2} {:>10.2} {:>10.2} | {:>9.3}",
+            nodes,
+            machine.nranks(),
+            c.min,
+            c.mean,
+            c.max,
+            c.imbalance()
+        );
+        rows.push(format!(
+            "{nodes}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+            machine.nranks(),
+            c.min,
+            c.mean,
+            c.max,
+            c.imbalance()
+        ));
+    }
+    write_tsv(
+        "f05_load_imbalance.tsv",
+        "nodes\tcores\tmin_s\tavg_s\tmax_s\timbalance",
+        &rows,
+    );
+    println!("\nexpected shape: imbalance (max/avg) grows with scale");
+}

@@ -1,0 +1,55 @@
+//! Figure 6: communication load imbalance of the bulk-synchronous
+//! exchange — the difference between the maximum and minimum received
+//! read bytes per core, strong scaling Human CCS.
+
+use gnb_bench::{banner, cli_args, load_workload, mb, write_tsv, HUMAN_NODES};
+use gnb_sim::Summary;
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("human_ccs", &args);
+    banner(&format!(
+        "Fig. 6: BSP exchange-load spread, Human CCS (scale {})",
+        w.scale
+    ));
+
+    println!(
+        "{:>5} {:>7} | {:>12} {:>12} {:>12} {:>14} | {:>9}",
+        "nodes", "cores", "min MB", "mean MB", "max MB", "max-min MB", "imbalance"
+    );
+    let mut rows = Vec::new();
+    for &nodes in &HUMAN_NODES {
+        let machine = w.machine(nodes);
+        let sim = w.prepare(machine.nranks());
+        let recv = sim.recv_bytes();
+        let s = Summary::of(recv.iter().map(|&b| b as f64));
+        // Report in full-scale-equivalent MB for comparison with the paper.
+        let f = w.scale as f64;
+        println!(
+            "{:>5} {:>7} | {:>12.2} {:>12.2} {:>12.2} {:>14.2} | {:>9.3}",
+            nodes,
+            machine.nranks(),
+            mb((s.min * f) as u64),
+            mb((s.mean * f) as u64),
+            mb((s.max * f) as u64),
+            mb((s.spread() * f) as u64),
+            s.imbalance()
+        );
+        rows.push(format!(
+            "{nodes}\t{}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.4}",
+            machine.nranks(),
+            s.min * f,
+            s.mean * f,
+            s.max * f,
+            s.spread() * f,
+            s.imbalance()
+        ));
+    }
+    write_tsv(
+        "f06_exchange_spread.tsv",
+        "nodes\tcores\tmin_bytes_fs\tmean_bytes_fs\tmax_bytes_fs\tspread_bytes_fs\timbalance",
+        &rows,
+    );
+    println!("\n(bytes reported in full-scale equivalents: measured x scale)");
+    println!("expected shape: a large max-min spread that shrinks with scale");
+}

@@ -1,0 +1,72 @@
+//! Figure 7: absolute (unhidden) communication latency — both codes run
+//! in the mode that "executes everything except the pairwise alignment
+//! computation", strong scaling Human CCS.
+//!
+//! Paper findings to reproduce: BSP latency is lower at small scale and
+//! scales sublinearly from 8–512 nodes; async latency scales down with
+//! the per-rank lookup count from 16 nodes on; the curves cross between
+//! 32 and 64 nodes.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv, HUMAN_NODES};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_core::CostModel;
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("human_ccs", &args);
+    banner(&format!(
+        "Fig. 7: communication-only latency, Human CCS (scale {})",
+        w.scale
+    ));
+
+    let mut cfg = RunConfig::default();
+    cfg.cost = CostModel::comm_only();
+
+    println!(
+        "{:>5} {:>7} | {:>12} {:>12} | {:>10}",
+        "nodes", "cores", "BSP (s)", "Async (s)", "winner"
+    );
+    let mut rows = Vec::new();
+    let mut crossover: Option<usize> = None;
+    let mut prev_winner: Option<Algorithm> = None;
+    for &nodes in &HUMAN_NODES {
+        let machine = w.machine(nodes);
+        let sim = w.prepare(machine.nranks());
+        let bsp = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+        let winner = if bsp.runtime() <= asy.runtime() {
+            Algorithm::Bsp
+        } else {
+            Algorithm::Async
+        };
+        if let Some(p) = prev_winner {
+            if p == Algorithm::Bsp && winner == Algorithm::Async && crossover.is_none() {
+                crossover = Some(nodes);
+            }
+        }
+        prev_winner = Some(winner);
+        println!(
+            "{:>5} {:>7} | {:>12.3} {:>12.3} | {:>10}",
+            nodes,
+            machine.nranks(),
+            bsp.runtime(),
+            asy.runtime(),
+            winner.to_string()
+        );
+        rows.push(format!(
+            "{nodes}\t{}\t{:.5}\t{:.5}",
+            machine.nranks(),
+            bsp.runtime(),
+            asy.runtime()
+        ));
+    }
+    write_tsv(
+        "f07_comm_latency.tsv",
+        "nodes\tcores\tbsp_latency_s\tasync_latency_s",
+        &rows,
+    );
+    match crossover {
+        Some(n) => println!("\ncrossover: async overtakes BSP at {n} nodes (paper: 32-64)"),
+        None => println!("\nno crossover observed in this sweep"),
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 8: comparative runtime breakdown, strong scaling E. coli 100×
+//! from 1 to 128 nodes (64 to 8K cores).
+//!
+//! Paper findings to reproduce: memory suffices for single-superstep BSP
+//! at every scale; compute and sync are practically identical between the
+//! codes; BSP's visible communication rises from ~1% (1 node) to >24%
+//! (128 nodes) while the async code hides all but <7%; async ends up to
+//! ~12% more efficient.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv, ECOLI100_NODES};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("ecoli_100x", &args);
+    banner(&format!(
+        "Fig. 8: E. coli 100x strong scaling (scale {}, {} tasks)",
+        w.scale,
+        w.synth.tasks.len()
+    ));
+
+    println!(
+        "{:>5} {:>6} {:<6} | {:>9} {:>8} {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
+        "nodes", "cores", "algo", "total(s)", "align", "ovhd", "comm", "sync", "comm%", "rounds",
+        "gap%"
+    );
+    let cfg = RunConfig::default();
+    let mut rows = Vec::new();
+    let mut single_node_total: Option<f64> = None;
+    for &nodes in &ECOLI100_NODES {
+        let machine = w.machine(nodes);
+        let sim = w.prepare(machine.nranks());
+        let bsp = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+        assert_eq!(bsp.task_checksum, asy.task_checksum);
+        let gap = (bsp.runtime() - asy.runtime()) / bsp.runtime() * 100.0;
+        for r in [&bsp, &asy] {
+            let b = &r.breakdown;
+            println!(
+                "{:>5} {:>6} {:<6} | {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>6.1}% {:>7} {:>6.1}%",
+                nodes,
+                machine.nranks(),
+                r.algorithm.to_string(),
+                b.total,
+                b.compute.mean,
+                b.overhead.mean,
+                b.comm.mean,
+                b.sync.mean,
+                b.comm_fraction() * 100.0,
+                r.rounds,
+                if r.algorithm == Algorithm::Async { gap } else { 0.0 }
+            );
+            rows.push(format!(
+                "{nodes}\t{}\t{}\t{}\t{:.4}\t{}",
+                machine.nranks(),
+                r.algorithm,
+                b.tsv_row(),
+                b.comm_fraction(),
+                r.rounds
+            ));
+        }
+        if nodes == 1 {
+            single_node_total = Some(bsp.runtime());
+        }
+        if nodes == *ECOLI100_NODES.last().unwrap() {
+            if let Some(t1) = single_node_total {
+                println!(
+                    "  -> speedup over 1 node at {nodes} nodes: BSP {:.1}x, Async {:.1}x (paper: ~40x)",
+                    t1 / bsp.runtime(),
+                    t1 / asy.runtime()
+                );
+            }
+        }
+    }
+    write_tsv(
+        "f08_ecoli100_scaling.tsv",
+        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\tcomm_frac\trounds",
+        &rows,
+    );
+}

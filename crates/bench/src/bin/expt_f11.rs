@@ -1,0 +1,68 @@
+//! Figures 11 and 12: maximum per-core memory footprint of both codes,
+//! strong scaling Human CCS, against the application-available line
+//! (~1.4 GB/core) and the single-exchange estimate.
+//!
+//! Paper findings to reproduce: BSP rides the memory line while limited
+//! (8–32 nodes), then tracks the estimate; async stays flat and under
+//! 256 MB/core at every scale.
+
+use gnb_bench::{banner, cli_args, load_workload, mb, write_tsv, HUMAN_NODES};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("human_ccs", &args);
+    banner(&format!(
+        "Fig. 11/12: memory footprint, Human CCS (scale {}; MB are full-scale equivalents)",
+        w.scale
+    ));
+
+    let avail_fs = 1.4 * (1u64 << 30) as f64; // full-scale app-available/core
+    println!("application-available memory per core: {:.0} MB", avail_fs / (1 << 20) as f64);
+
+    println!(
+        "{:>5} {:>7} | {:>12} {:>7} | {:>12} | {:>12} | {:>9} {:>9}",
+        "nodes", "cores", "BSP MB", "rounds", "Async MB", "estimate MB", "BSP(s)", "Async(s)"
+    );
+    let cfg = RunConfig::default();
+    let mut rows = Vec::new();
+    for &nodes in &HUMAN_NODES {
+        let machine = w.machine(nodes);
+        let sim = w.prepare(machine.nranks());
+        // Paper's estimate: total exchange load / ranks + average partition.
+        let total_exchange: u64 = sim.recv_bytes().iter().sum();
+        let avg_partition: u64 =
+            sim.per_rank.iter().map(|r| r.partition_bytes).sum::<u64>() / sim.nranks as u64;
+        let estimate = total_exchange / sim.nranks as u64 + avg_partition;
+        let bsp = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+        println!(
+            "{:>5} {:>7} | {:>12.1} {:>7} | {:>12.1} | {:>12.1} | {:>9.2} {:>9.2}",
+            nodes,
+            machine.nranks(),
+            mb(w.full_scale_bytes(bsp.max_mem_peak)),
+            bsp.rounds,
+            mb(w.full_scale_bytes(asy.max_mem_peak)),
+            mb(w.full_scale_bytes(estimate)),
+            bsp.runtime(),
+            asy.runtime()
+        );
+        rows.push(format!(
+            "{nodes}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}",
+            machine.nranks(),
+            w.full_scale_bytes(bsp.max_mem_peak),
+            bsp.rounds,
+            w.full_scale_bytes(asy.max_mem_peak),
+            w.full_scale_bytes(estimate),
+            bsp.runtime(),
+            asy.runtime()
+        ));
+    }
+    write_tsv(
+        "f11_f12_memory.tsv",
+        "nodes\tcores\tbsp_peak_fs_bytes\tbsp_rounds\tasync_peak_fs_bytes\testimate_fs_bytes\tbsp_s\tasync_s",
+        &rows,
+    );
+    println!("\nexpected shape: BSP near the available line while multi-round, then tracking");
+    println!("the estimate; async flat and well under 256 MB/core at every scale");
+}

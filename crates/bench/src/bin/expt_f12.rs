@@ -1,0 +1,57 @@
+//! Figure 12: memory footprint and runtime on absolute axes, strong
+//! scaling Human CCS (the same sweep as Fig. 11, presented as the paper's
+//! combined memory+runtime view).
+//!
+//! Paper finding to reproduce: the async code keeps a low, flat footprint
+//! while achieving lower runtime through communication–computation
+//! overlap; the two codes converge at 512 nodes.
+
+use gnb_bench::{banner, cli_args, load_workload, mb, write_tsv, HUMAN_NODES};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("human_ccs", &args);
+    banner(&format!(
+        "Fig. 12: memory + runtime, Human CCS (scale {}; MB full-scale equivalent)",
+        w.scale
+    ));
+
+    println!(
+        "{:>5} {:>7} | {:>10} {:>12} | {:>10} {:>12} | {:>8}",
+        "nodes", "cores", "BSP (s)", "BSP MB", "Async (s)", "Async MB", "conv?"
+    );
+    let cfg = RunConfig::default();
+    let mut rows = Vec::new();
+    for &nodes in &HUMAN_NODES {
+        let machine = w.machine(nodes);
+        let sim = w.prepare(machine.nranks());
+        let bsp = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+        let close = (bsp.runtime() - asy.runtime()).abs() / bsp.runtime() < 0.06;
+        println!(
+            "{:>5} {:>7} | {:>10.2} {:>12.1} | {:>10.2} {:>12.1} | {:>8}",
+            nodes,
+            machine.nranks(),
+            bsp.runtime(),
+            mb(w.full_scale_bytes(bsp.max_mem_peak)),
+            asy.runtime(),
+            mb(w.full_scale_bytes(asy.max_mem_peak)),
+            if close { "yes" } else { "" }
+        );
+        rows.push(format!(
+            "{nodes}\t{}\t{:.4}\t{}\t{:.4}\t{}",
+            machine.nranks(),
+            bsp.runtime(),
+            w.full_scale_bytes(bsp.max_mem_peak),
+            asy.runtime(),
+            w.full_scale_bytes(asy.max_mem_peak)
+        ));
+    }
+    write_tsv(
+        "f12_memory_runtime.tsv",
+        "nodes\tcores\tbsp_s\tbsp_peak_fs_bytes\tasync_s\tasync_peak_fs_bytes",
+        &rows,
+    );
+    println!("\nexpected shape: async lower runtime + flat footprint; very close at 512 nodes");
+}

@@ -1,0 +1,59 @@
+//! §4.1 intranode strong scaling: E. coli 30× on one node from 1 to 68
+//! cores.
+//!
+//! Paper findings to reproduce: both codes scale essentially perfectly by
+//! powers of two from 1 to 32 cores; the speedup tapers to ≈62× at ≥64
+//! cores; absolute time-to-solution drops from ≈1 hour to ≈1 minute.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("ecoli_30x", &args);
+    banner(&format!(
+        "Intranode strong scaling: E. coli 30x (scale {}, {} tasks)",
+        w.scale,
+        w.synth.tasks.len()
+    ));
+
+    println!(
+        "{:>6} | {:>10} {:>9} | {:>10} {:>9}",
+        "cores", "BSP (s)", "speedup", "Async (s)", "speedup"
+    );
+    let cfg = RunConfig::default();
+    let mut base: Option<(f64, f64)> = None;
+    let mut rows = Vec::new();
+    for cores in [1usize, 2, 4, 8, 16, 32, 64, 68] {
+        let machine = w.machine(1).with_cores_per_node(cores);
+        let sim = w.prepare(machine.nranks());
+        let mut c = cfg;
+        if cores == 68 {
+            c.os_noise = 0.10;
+        }
+        let bsp = run_sim(&sim, &machine, Algorithm::Bsp, &c);
+        let asy = run_sim(&sim, &machine, Algorithm::Async, &c);
+        let (b1, a1) = *base.get_or_insert((bsp.runtime(), asy.runtime()));
+        println!(
+            "{:>6} | {:>10.2} {:>9.2} | {:>10.2} {:>9.2}",
+            cores,
+            bsp.runtime(),
+            b1 / bsp.runtime(),
+            asy.runtime(),
+            a1 / asy.runtime()
+        );
+        rows.push(format!(
+            "{cores}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+            bsp.runtime(),
+            b1 / bsp.runtime(),
+            asy.runtime(),
+            a1 / asy.runtime()
+        ));
+    }
+    write_tsv(
+        "intranode_scaling.tsv",
+        "cores\tbsp_s\tbsp_speedup\tasync_s\tasync_speedup",
+        &rows,
+    );
+    println!("\nexpected shape: near-linear to 32 cores, tapering toward ~62x at 64+");
+}

@@ -1,0 +1,83 @@
+//! Table 1: workload inventory — reads and task counts for the three
+//! evaluation datasets, paper versus this reproduction's synthetic
+//! equivalents (at their default scales, and extrapolated to full scale).
+//!
+//! Also runs the real string pipeline on a small E. coli slice to show the
+//! synthetic task-graph path agrees with the string path on task density.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv};
+use gnb_core::pipeline::{run_pipeline, PipelineParams};
+use gnb_genome::presets;
+
+fn main() {
+    let args = cli_args();
+    banner("Table 1: workloads");
+
+    // Paper's numbers.
+    let paper = [
+        ("ecoli_30x", 16_890usize, 2_270_260usize),
+        ("ecoli_100x", 91_394, 24_869_171),
+        ("human_ccs", 1_148_839, 87_621_409),
+    ];
+
+    println!(
+        "{:<12} {:>6} | {:>9} {:>11} {:>10} | {:>9} {:>12} {:>10} | {:>8} {:>8}",
+        "dataset",
+        "scale",
+        "reads",
+        "tasks",
+        "tasks/rd",
+        "paper_rd",
+        "paper_tasks",
+        "paper_t/r",
+        "rd_xS",
+        "task_xS"
+    );
+    let mut rows = Vec::new();
+    for (name, p_reads, p_tasks) in paper {
+        let w = load_workload(name, &args);
+        let reads = w.synth.reads();
+        let tasks = w.synth.tasks.len();
+        let tpr = w.synth.tasks_per_read();
+        let paper_tpr = p_tasks as f64 / p_reads as f64;
+        println!(
+            "{:<12} {:>6} | {:>9} {:>11} {:>10.1} | {:>9} {:>12} {:>10.1} | {:>8} {:>8}",
+            name,
+            w.scale,
+            reads,
+            tasks,
+            tpr,
+            p_reads,
+            p_tasks,
+            paper_tpr,
+            reads * w.scale,
+            tasks * w.scale,
+        );
+        rows.push(format!(
+            "{name}\t{}\t{reads}\t{tasks}\t{tpr:.2}\t{p_reads}\t{p_tasks}\t{paper_tpr:.2}",
+            w.scale
+        ));
+    }
+    write_tsv(
+        "t1_workloads.tsv",
+        "dataset\tscale\treads\ttasks\ttasks_per_read\tpaper_reads\tpaper_tasks\tpaper_tpr",
+        &rows,
+    );
+
+    banner("string pipeline cross-check (E. coli 30x, 1/64 scale)");
+    let preset = presets::ecoli_30x().scaled(64);
+    let reads = preset.generate(args.seed);
+    let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let res = run_pipeline(&reads, &params);
+    println!(
+        "string path: {} reads -> {} candidates ({:.1}/read), {} accepted; \
+         k-mers {} -> {} retained {:?}",
+        reads.len(),
+        res.tasks.len(),
+        res.tasks_per_read(reads.len()),
+        res.accepted(),
+        res.distinct_kmers,
+        res.retained_kmers,
+        res.reliable_interval
+    );
+}

@@ -1,0 +1,60 @@
+//! Ablation (paper §4.3 discussion): the asynchronous code's
+//! outstanding-request window. The paper speculates that "further tuning
+//! runtime parameters to the workload (e.g. varying limits on outgoing
+//! requests) could improve overall latency" — this sweep measures exactly
+//! that, in both comm-only and full modes.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_core::CostModel;
+
+fn main() {
+    let args = cli_args();
+    let w = load_workload("human_ccs", &args);
+    let nodes = 16;
+    let machine = w.machine(nodes);
+    let sim = w.prepare(machine.nranks());
+    banner(&format!(
+        "Ablation: RPC window sweep, Human CCS at {nodes} nodes (scale {})",
+        w.scale
+    ));
+
+    println!(
+        "{:>7} | {:>14} | {:>10} {:>8} {:>12}",
+        "window", "comm-only (s)", "full (s)", "comm%", "peak mem MB*"
+    );
+    let mut rows = Vec::new();
+    for window in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 1024] {
+        let mut comm_cfg = RunConfig::default();
+        comm_cfg.cost = CostModel::comm_only();
+        comm_cfg.rpc_window = window;
+        let comm_only = run_sim(&sim, &machine, Algorithm::Async, &comm_cfg);
+
+        let mut full_cfg = RunConfig::default();
+        full_cfg.rpc_window = window;
+        let full = run_sim(&sim, &machine, Algorithm::Async, &full_cfg);
+
+        println!(
+            "{:>7} | {:>14.3} | {:>10.2} {:>7.1}% {:>12.1}",
+            window,
+            comm_only.runtime(),
+            full.runtime(),
+            full.breakdown.comm_fraction() * 100.0,
+            w.full_scale_bytes(full.max_mem_peak) as f64 / (1u64 << 20) as f64,
+        );
+        rows.push(format!(
+            "{window}\t{:.5}\t{:.5}\t{:.5}\t{}",
+            comm_only.runtime(),
+            full.runtime(),
+            full.breakdown.comm_fraction(),
+            w.full_scale_bytes(full.max_mem_peak)
+        ));
+    }
+    write_tsv(
+        "ablation_window.tsv",
+        "window\tcomm_only_s\tfull_s\tcomm_frac\tpeak_fs_bytes",
+        &rows,
+    );
+    println!("\nexpected shape: deeper windows hide more latency (down to a floor)");
+    println!("at the cost of a proportionally larger reply-buffer footprint");
+}

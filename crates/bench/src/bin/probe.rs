@@ -1,0 +1,71 @@
+//! Shape probe: quick strong-scaling sanity sweep used while tuning the
+//! model parameters. Not one of the paper's figures; kept because it is the
+//! fastest way to eyeball all the headline shapes at once.
+
+use gnb_bench::{banner, cli_args, load_workload, mb};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_core::CostModel;
+
+fn main() {
+    let args = cli_args();
+
+    banner("ecoli_100x strong scaling (Fig. 8 shape)");
+    let w = load_workload("ecoli_100x", &args);
+    println!(
+        "reads {}  tasks {}  tasks/read {:.1}",
+        w.synth.reads(),
+        w.synth.tasks.len(),
+        w.synth.tasks_per_read()
+    );
+    println!("nodes\talgo\ttotal\tcomp\tovhd\tcomm\tsync\tcomm%\trounds\tevents");
+    for nodes in [1usize, 4, 16, 64, 128] {
+        let m = w.machine(nodes);
+        let sim = w.prepare(m.nranks());
+        for algo in [Algorithm::Bsp, Algorithm::Async] {
+            let r = run_sim(&sim, &m, algo, &RunConfig::default());
+            let b = &r.breakdown;
+            println!(
+                "{nodes}\t{algo}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.1}%\t{}\t{}",
+                b.total,
+                b.compute.mean,
+                b.overhead.mean,
+                b.comm.mean,
+                b.sync.mean,
+                b.comm_fraction() * 100.0,
+                r.rounds,
+                r.events
+            );
+        }
+    }
+
+    banner("human_ccs comm-only latency (Fig. 7 shape) + memory (Fig. 11)");
+    let w = load_workload("human_ccs", &args);
+    println!(
+        "reads {}  tasks {}  tasks/read {:.1}",
+        w.synth.reads(),
+        w.synth.tasks.len(),
+        w.synth.tasks_per_read()
+    );
+    println!("nodes\tbsp_comm_only\tasync_comm_only\tbsp_total\tasync_total\tbsp_memMB*\tasync_memMB*\trounds");
+    for nodes in [8usize, 16, 32, 64, 128, 256, 512] {
+        let m = w.machine(nodes);
+        let sim = w.prepare(m.nranks());
+        let mut cfg_comm = RunConfig::default();
+        cfg_comm.cost = CostModel::comm_only();
+        let bsp_c = run_sim(&sim, &m, Algorithm::Bsp, &cfg_comm);
+        let asy_c = run_sim(&sim, &m, Algorithm::Async, &cfg_comm);
+        let cfg = RunConfig::default();
+        let bsp = run_sim(&sim, &m, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&sim, &m, Algorithm::Async, &cfg);
+        println!(
+            "{nodes}\t{:.3}\t{:.3}\t{:.2}\t{:.2}\t{:.0}\t{:.0}\t{}",
+            bsp_c.runtime(),
+            asy_c.runtime(),
+            bsp.runtime(),
+            asy.runtime(),
+            mb(w.full_scale_bytes(bsp.max_mem_peak)),
+            mb(w.full_scale_bytes(asy.max_mem_peak)),
+            bsp.rounds
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Shape probe, Human CCS only (fast iteration on the Fig. 7/9/10/11
+//! shapes while tuning model parameters).
+
+use gnb_bench::{banner, cli_args, load_workload, mb};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_core::CostModel;
+
+fn main() {
+    let args = cli_args();
+    banner("human_ccs: comm-only (Fig. 7), totals (Fig. 9/10), memory (Fig. 11)");
+    let w = load_workload("human_ccs", &args);
+    println!(
+        "reads {}  tasks {}  tasks/read {:.1}",
+        w.synth.reads(),
+        w.synth.tasks.len(),
+        w.synth.tasks_per_read()
+    );
+    println!("nodes\tbsp_co\tasync_co\tbsp_tot\tasy_tot\tgap%\tbsp_comm%\tbspMB*\tasyMB*\trounds");
+    for nodes in [8usize, 16, 32, 64, 128, 256, 512] {
+        let m = w.machine(nodes);
+        let sim = w.prepare(m.nranks());
+        let mut cfg_comm = RunConfig::default();
+        cfg_comm.cost = CostModel::comm_only();
+        let bsp_c = run_sim(&sim, &m, Algorithm::Bsp, &cfg_comm);
+        let asy_c = run_sim(&sim, &m, Algorithm::Async, &cfg_comm);
+        let cfg = RunConfig::default();
+        let bsp = run_sim(&sim, &m, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&sim, &m, Algorithm::Async, &cfg);
+        println!(
+            "{nodes}\t{:.3}\t{:.3}\t{:.2}\t{:.2}\t{:.1}%\t{:.1}%\t{:.0}\t{:.0}\t{}",
+            bsp_c.runtime(),
+            asy_c.runtime(),
+            bsp.runtime(),
+            asy.runtime(),
+            (bsp.runtime() - asy.runtime()) / bsp.runtime() * 100.0,
+            bsp.breakdown.comm_fraction() * 100.0,
+            mb(w.full_scale_bytes(bsp.max_mem_peak)),
+            mb(w.full_scale_bytes(asy.max_mem_peak)),
+            bsp.rounds
+        );
+    }
+}

@@ -1,0 +1,543 @@
+//! The asynchronous coordination code (paper §3.2).
+//!
+//! A pull-based SPMD algorithm over RPCs (UPC++ in the original; typed
+//! messages on the `gnb-sim` engine here):
+//!
+//! * tasks are indexed under the remote read they need;
+//! * each rank issues one asynchronous request per distinct remote read —
+//!   bounded by an outstanding-request window (§4.3 discusses tuning
+//!   "limits on outgoing requests") — and attaches a callback: when read
+//!   `b` arrives, all alignments involving `b` run as they are dequeued;
+//! * a split-phase barrier overlaps local-local task computation with read
+//!   registration; a single exit barrier keeps every rank's partition
+//!   available (ranks keep servicing lookups after finishing their own
+//!   work) until all tasks complete;
+//! * at most the windowed replies are buffered, so memory stays flat
+//!   (Fig. 11: <256 MB/core at every scale).
+//!
+//! Accounting: idle time that ends with a reply is *visible communication*
+//! (latency the compute failed to hide); idle that ends with the exit
+//! barrier or a foreign request while this rank has no outstanding
+//! requests is *synchronization*; RPC injection/servicing and
+//! pointer-based store traversal are *overhead*.
+
+use crate::cost::CostModel;
+use crate::driver::RunConfig;
+use crate::machine::MachineConfig;
+use crate::workload::{task_checksum, SimWorkload};
+use gnb_sim::engine::{Ctx, Program, TimeCategory};
+use gnb_sim::SimTime;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Barrier ids.
+const BAR_REG: u64 = 0;
+const BAR_EXIT: u64 = 1;
+
+/// Messages of the asynchronous algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncMsg {
+    /// Self-timer: process the next unit of ready work (the polling the
+    /// paper notes UPC++ requires).
+    Poll,
+    /// Request for a remote read.
+    Req {
+        /// The read being fetched.
+        read: u32,
+    },
+    /// Reply carrying a read (payload bytes are modelled on the wire).
+    Rep {
+        /// The read that arrived.
+        read: u32,
+    },
+    /// Self-timer: retry check for an outstanding request (only armed
+    /// under failure injection).
+    Timeout {
+        /// The read whose reply may have been lost.
+        read: u32,
+    },
+}
+
+/// Precomputed per-rank inputs for the async code.
+#[derive(Debug, Clone)]
+pub struct AsyncPlan {
+    /// One entry per rank.
+    pub per_rank: Vec<AsyncRankPlan>,
+    /// Read lengths (reply payload sizes), shared.
+    pub lengths: Arc<Vec<u32>>,
+}
+
+/// A remote-read group with modelled costs.
+#[derive(Debug, Clone)]
+pub struct AsyncGroup {
+    /// Remote read id.
+    pub read: u32,
+    /// Owner rank of the read.
+    pub owner: u32,
+    /// Read bytes (the reply size).
+    pub bytes: u64,
+    /// Alignment compute for the group's tasks.
+    pub compute: SimTime,
+    /// Traversal/invocation overhead for the group's tasks.
+    pub overhead: SimTime,
+    /// Task count.
+    pub tasks: u64,
+}
+
+/// One rank's precomputed async inputs.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncRankPlan {
+    /// Partition + pointer-store bytes held for the whole run.
+    pub static_bytes: u64,
+    /// Local-local work, chunked for polling granularity:
+    /// `(compute, overhead, tasks)`.
+    pub local_chunks: Vec<(SimTime, SimTime, u64)>,
+    /// Remote groups in read order.
+    pub groups: Vec<AsyncGroup>,
+    /// Order-independent checksum of this rank's tasks.
+    pub checksum: u64,
+}
+
+/// Approximate bytes per task node in the pointer-based store (boxed node
+/// plus map/vec overhead, cf. [`gnb_overlap::store::PointerTaskStore`]).
+const TASK_NODE_BYTES: u64 = 48;
+
+/// Local tasks per poll chunk (polling granularity).
+const LOCAL_CHUNK: usize = 32;
+
+/// Builds the async plan from the shared fixed workload.
+pub fn plan_async(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> AsyncPlan {
+    let cost: &CostModel = &cfg.cost;
+    let per_rank = w
+        .per_rank
+        .iter()
+        .enumerate()
+        .map(|(p, rd)| {
+            let noise = crate::driver::os_noise_factor(p, cfg.os_noise);
+            let mut ids: Vec<(u32, u32)> = Vec::with_capacity(rd.total_tasks());
+            let mut local_chunks = Vec::new();
+            for chunk in rd.local.chunks(LOCAL_CHUNK) {
+                let mut compute = SimTime::ZERO;
+                for (t, ov) in chunk {
+                    compute +=
+                        SimTime::from_secs_f64(machine.compute_secs(cost.cells(t, *ov)) * noise);
+                    ids.push((t.a, t.b));
+                }
+                let overhead =
+                    SimTime::from_ns(cfg.overhead_ns_per_task_async * chunk.len() as u64);
+                local_chunks.push((compute, overhead, chunk.len() as u64));
+            }
+            let groups = rd
+                .groups
+                .iter()
+                .map(|g| {
+                    let mut compute = SimTime::ZERO;
+                    for (t, ov) in &g.tasks {
+                        compute += SimTime::from_secs_f64(
+                            machine.compute_secs(cost.cells(t, *ov)) * noise,
+                        );
+                        ids.push((t.a, t.b));
+                    }
+                    AsyncGroup {
+                        read: g.read,
+                        owner: g.owner,
+                        bytes: g.bytes,
+                        compute,
+                        overhead: SimTime::from_ns(
+                            cfg.overhead_ns_per_task_async * g.tasks.len() as u64,
+                        ),
+                        tasks: g.tasks.len() as u64,
+                    }
+                })
+                .collect();
+            AsyncRankPlan {
+                static_bytes: rd.partition_bytes + rd.total_tasks() as u64 * TASK_NODE_BYTES,
+                local_chunks,
+                groups,
+                checksum: task_checksum(ids),
+            }
+        })
+        .collect();
+    AsyncPlan {
+        per_rank,
+        lengths: Arc::new(w.lengths.clone()),
+    }
+}
+
+/// One asynchronous rank.
+pub struct AsyncRank {
+    plan: Arc<AsyncPlan>,
+    rank: usize,
+    cfg_window: usize,
+    cfg_req_bytes: u64,
+    rpc_inject: SimTime,
+    rpc_service: SimTime,
+
+    next_req: usize,
+    in_flight: usize,
+    ready: VecDeque<usize>,
+    next_local: usize,
+    groups_done: usize,
+    poll_scheduled: bool,
+    entered_exit: bool,
+    /// Failure injection (0 = off): every Nth served request's reply lost.
+    drop_period: u64,
+    /// Retry timeout (armed only under failure injection).
+    timeout: SimTime,
+    /// Served-request counter (drives deterministic drops).
+    served: u64,
+    /// Per-group arrival flags (guards against duplicate replies).
+    arrived: Vec<bool>,
+    /// Replies this rank deliberately dropped (owner side).
+    pub drops_injected: u64,
+    /// Requests this rank re-issued after a timeout.
+    pub retries: u64,
+    /// Tasks completed (exposed for verification).
+    pub tasks_done: u64,
+}
+
+impl AsyncRank {
+    /// Creates the rank program.
+    pub fn new(plan: Arc<AsyncPlan>, rank: usize, machine: &MachineConfig, cfg: &RunConfig) -> Self {
+        let ngroups = plan.per_rank[rank].groups.len();
+        AsyncRank {
+            plan,
+            rank,
+            cfg_window: cfg.rpc_window,
+            cfg_req_bytes: cfg.req_bytes,
+            rpc_inject: SimTime::from_ns(machine.rpc_inject_ns),
+            rpc_service: SimTime::from_ns(machine.rpc_service_ns),
+            next_req: 0,
+            in_flight: 0,
+            ready: VecDeque::new(),
+            next_local: 0,
+            groups_done: 0,
+            poll_scheduled: false,
+            entered_exit: false,
+            drop_period: cfg.rpc_drop_period,
+            timeout: SimTime::from_ns(cfg.rpc_timeout_ns),
+            served: 0,
+            arrived: vec![false; ngroups],
+            drops_injected: 0,
+            retries: 0,
+            tasks_done: 0,
+        }
+    }
+
+    /// This rank's task checksum (valid any time).
+    pub fn checksum(&self) -> u64 {
+        self.plan.per_rank[self.rank].checksum
+    }
+
+    fn me(&self) -> &AsyncRankPlan {
+        &self.plan.per_rank[self.rank]
+    }
+
+    fn issue_requests(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+        // Flow control by consumption: the window bounds requests in
+        // flight *plus* replies buffered but not yet computed, so per-rank
+        // memory stays window-bounded (the paper's "no more than 1 remote
+        // read in-memory at any given time in order to make progress",
+        // generalised to a tunable window).
+        while self.in_flight + self.ready.len() < self.cfg_window
+            && self.next_req < self.me().groups.len()
+        {
+            let g = &self.plan.per_rank[self.rank].groups[self.next_req];
+            let (owner, read) = (g.owner as usize, g.read);
+            // Injection costs CPU (GASNet-EX style AM injection).
+            ctx.advance(self.rpc_inject, TimeCategory::Overhead);
+            ctx.send(owner, self.cfg_req_bytes, AsyncMsg::Req { read });
+            if self.drop_period > 0 {
+                ctx.after(self.timeout, AsyncMsg::Timeout { read });
+            }
+            self.in_flight += 1;
+            self.next_req += 1;
+        }
+    }
+
+    fn ensure_poll(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+        let has_work = !self.ready.is_empty() || self.next_local < self.me().local_chunks.len();
+        if !self.poll_scheduled && has_work {
+            // One tick later, not zero: requests and replies that queued up
+            // while this rank was computing must be serviced *before* the
+            // next unit of compute — this is the "application-level
+            // polling" between tasks that UPC++ requires (§3.2). A zero
+            // delay would let the poll chain starve queued RPCs.
+            ctx.after(SimTime::from_ns(1), AsyncMsg::Poll);
+            self.poll_scheduled = true;
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+        let me_done = self.next_local >= self.me().local_chunks.len()
+            && self.groups_done == self.me().groups.len();
+        if me_done && !self.entered_exit {
+            self.entered_exit = true;
+            ctx.barrier_enter(BAR_EXIT);
+        }
+    }
+
+    fn group_index(&self, read: u32) -> usize {
+        self.me()
+            .groups
+            .binary_search_by_key(&read, |g| g.read)
+            .expect("reply for a read this rank never requested")
+    }
+
+    /// Classify an idle gap that was ended by a *foreign* event: if we
+    /// still have requests in flight we were hiding (failing to hide)
+    /// communication; otherwise we are done and waiting at the exit
+    /// barrier — synchronization.
+    fn classify_foreign_idle(&self, ctx: &mut Ctx<'_, AsyncMsg>) {
+        if self.in_flight > 0 {
+            ctx.classify_idle(TimeCategory::Comm);
+        } else {
+            ctx.classify_idle(TimeCategory::Sync);
+        }
+    }
+}
+
+impl Program<AsyncMsg> for AsyncRank {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+        ctx.mem_alloc(self.me().static_bytes);
+        // Split-phase barrier: enter the registration phase, then overlap
+        // local work and request issue while others register.
+        ctx.barrier_enter(BAR_REG);
+        self.issue_requests(ctx);
+        self.ensure_poll(ctx);
+        self.maybe_finish(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, AsyncMsg>, src: usize, msg: AsyncMsg) {
+        match msg {
+            AsyncMsg::Req { read } => {
+                self.classify_foreign_idle(ctx);
+                // Service the lookup and ship the read back.
+                ctx.advance(self.rpc_service, TimeCategory::Overhead);
+                self.served += 1;
+                if self.drop_period > 0 && self.served.is_multiple_of(self.drop_period) {
+                    // Failure injection: the reply is lost on the wire.
+                    self.drops_injected += 1;
+                    return;
+                }
+                let bytes = self.plan.lengths[read as usize] as u64;
+                ctx.send(src, bytes, AsyncMsg::Rep { read });
+            }
+            AsyncMsg::Rep { read } => {
+                // Idle that a reply terminates is unhidden communication.
+                ctx.classify_idle(TimeCategory::Comm);
+                let gidx = self.group_index(read);
+                if self.arrived[gidx] {
+                    return; // duplicate (a retry raced the original reply)
+                }
+                self.arrived[gidx] = true;
+                ctx.mem_alloc(self.plan.per_rank[self.rank].groups[gidx].bytes);
+                self.in_flight -= 1;
+                self.ready.push_back(gidx);
+                self.ensure_poll(ctx);
+            }
+            AsyncMsg::Timeout { read } => {
+                let gidx = self.group_index(read);
+                if self.arrived[gidx] {
+                    return; // reply made it; nothing to do
+                }
+                // Reply presumed lost: re-issue the request and re-arm.
+                self.retries += 1;
+                let owner = self.plan.per_rank[self.rank].groups[gidx].owner as usize;
+                ctx.advance(self.rpc_inject, TimeCategory::Overhead);
+                ctx.send(owner, self.cfg_req_bytes, AsyncMsg::Req { read });
+                ctx.after(self.timeout, AsyncMsg::Timeout { read });
+            }
+            AsyncMsg::Poll => {
+                self.poll_scheduled = false;
+                if let Some(gidx) = self.ready.pop_front() {
+                    let g = &self.plan.per_rank[self.rank].groups[gidx];
+                    let (oh, cp, n, bytes) = (g.overhead, g.compute, g.tasks, g.bytes);
+                    ctx.advance(oh, TimeCategory::Overhead);
+                    ctx.advance(cp, TimeCategory::Compute);
+                    ctx.mem_free(bytes);
+                    self.tasks_done += n;
+                    self.groups_done += 1;
+                    // Consumption frees a window slot: pull the next read.
+                    self.issue_requests(ctx);
+                } else if self.next_local < self.me().local_chunks.len() {
+                    let (cp, oh, n) = self.plan.per_rank[self.rank].local_chunks[self.next_local];
+                    ctx.advance(oh, TimeCategory::Overhead);
+                    ctx.advance(cp, TimeCategory::Compute);
+                    self.tasks_done += n;
+                    self.next_local += 1;
+                }
+                self.ensure_poll(ctx);
+                self.maybe_finish(ctx);
+            }
+        }
+    }
+
+    fn on_barrier(&mut self, ctx: &mut Ctx<'_, AsyncMsg>, id: u64) {
+        // Waiting that ends at a barrier is synchronization time (split
+        // phase or exit).
+        ctx.classify_idle(TimeCategory::Sync);
+        debug_assert!(id == BAR_REG || id == BAR_EXIT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnb_align::Candidate;
+    use gnb_sim::Engine;
+
+    fn cand(a: u32, b: u32) -> Candidate {
+        Candidate {
+            a,
+            b,
+            a_pos: 0,
+            b_pos: 0,
+            same_strand: true,
+        }
+    }
+
+    fn workload(nranks: usize) -> SimWorkload {
+        let lengths: Vec<usize> = (0..16).map(|i| 1000 + 100 * i).collect();
+        let tasks: Vec<Candidate> = (0..16u32)
+            .flat_map(|a| ((a + 1)..16).map(move |b| cand(a, b)))
+            .collect();
+        let ov: Vec<u32> = tasks.iter().map(|t| 200 * (t.b - t.a)).collect();
+        SimWorkload::prepare(&lengths, &tasks, &ov, nranks)
+    }
+
+    fn machine(cores: usize) -> MachineConfig {
+        MachineConfig::cori_knl(1).with_cores_per_node(cores)
+    }
+
+    fn run(nranks: usize, cfg: &RunConfig) -> (Vec<AsyncRank>, gnb_sim::engine::SimReport) {
+        let w = workload(nranks);
+        w.validate();
+        let m = machine(nranks);
+        let plan = Arc::new(plan_async(&w, &m, cfg));
+        let mut progs: Vec<AsyncRank> = (0..nranks)
+            .map(|r| AsyncRank::new(Arc::clone(&plan), r, &m, cfg))
+            .collect();
+        let report = Engine::new(nranks, m.net).run(&mut progs);
+        (progs, report)
+    }
+
+    #[test]
+    fn all_tasks_complete_exactly_once() {
+        for nranks in [1, 2, 4, 8] {
+            let (progs, _) = run(nranks, &RunConfig::default());
+            let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
+            assert_eq!(done as usize, workload(nranks).total_tasks, "nranks={nranks}");
+        }
+    }
+
+    #[test]
+    fn single_rank_never_communicates() {
+        let (progs, report) = run(1, &RunConfig::default());
+        assert_eq!(progs[0].tasks_done as usize, workload(1).total_tasks);
+        assert_eq!(
+            report.ranks[0].ledger[TimeCategory::Comm as usize],
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn window_of_one_still_completes() {
+        let mut cfg = RunConfig::default();
+        cfg.rpc_window = 1;
+        let (progs, _) = run(4, &cfg);
+        let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
+        assert_eq!(done as usize, workload(4).total_tasks);
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_window() {
+        let mut cfg = RunConfig::default();
+        cfg.rpc_window = 2;
+        let (_, report) = run(4, &cfg);
+        let w = workload(4);
+        for (r, rank) in report.ranks.iter().enumerate() {
+            let static_bytes = plan_async(&w, &machine(4), &cfg).per_rank[r].static_bytes;
+            // Peak = static + at most (window + queued) replies; with
+            // window 2 the dynamic excess is tiny.
+            assert!(
+                rank.mem_peak <= static_bytes + 3 * 2600,
+                "rank {r} peak {} static {static_bytes}",
+                rank.mem_peak
+            );
+        }
+    }
+
+    #[test]
+    fn comm_only_run_has_visible_latency_but_no_compute() {
+        // Zero compute AND zero per-task overhead: nothing can hide the
+        // round trips, so the wait becomes visible communication. (With
+        // the default 45 µs/task overhead, sub-µs intra-node RTTs are
+        // fully hidden — which is itself correct behaviour.)
+        let mut cfg = RunConfig::default();
+        cfg.cost = CostModel::comm_only();
+        cfg.overhead_ns_per_task_async = 0;
+        cfg.rpc_window = 1; // serialise round trips
+        let (_, report) = run(4, &cfg);
+        let compute: f64 = report.category_mean(TimeCategory::Compute);
+        assert_eq!(compute, 0.0);
+        let comm: f64 = report.category_mean(TimeCategory::Comm);
+        assert!(comm > 0.0, "with zero compute nothing hides the latency");
+    }
+
+    #[test]
+    fn compute_hides_communication() {
+        // With compute present the same workload exposes a smaller comm
+        // *fraction* than the latency-only run.
+        let mut heavy = RunConfig::default();
+        heavy.cost.cells_per_overlap_bp = 500.0;
+        heavy.cost.fp_cells = 1e6;
+        let (_, rep_heavy) = run(4, &heavy);
+        let mut only = RunConfig::default();
+        only.cost = CostModel::comm_only();
+        only.overhead_ns_per_task_async = 0;
+        only.rpc_window = 1;
+        let (_, rep_only) = run(4, &only);
+        let frac_heavy = rep_heavy.category_mean(TimeCategory::Comm)
+            / rep_heavy.end_time.as_secs_f64();
+        let frac_only =
+            rep_only.category_mean(TimeCategory::Comm) / rep_only.end_time.as_secs_f64();
+        assert!(
+            frac_heavy < frac_only * 0.5,
+            "visible comm fraction {frac_heavy} vs comm-only {frac_only}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (p1, r1) = run(4, &RunConfig::default());
+        let (p2, r2) = run(4, &RunConfig::default());
+        assert_eq!(r1, r2);
+        let d1: Vec<u64> = p1.iter().map(|p| p.tasks_done).collect();
+        let d2: Vec<u64> = p2.iter().map(|p| p.tasks_done).collect();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn reply_loss_recovered_by_retry() {
+        let mut cfg = RunConfig::default();
+        cfg.rpc_drop_period = 3; // drop every third reply
+        cfg.rpc_timeout_ns = 50_000;
+        let (progs, report) = run(4, &cfg);
+        let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
+        assert_eq!(done as usize, workload(4).total_tasks, "all tasks despite drops");
+        let drops: u64 = progs.iter().map(|p| p.drops_injected).sum();
+        let retries: u64 = progs.iter().map(|p| p.retries).sum();
+        assert!(drops > 0, "injection must actually fire");
+        assert!(retries >= drops, "every dropped reply forces a retry");
+        // And the lossy run is slower than the reliable one.
+        let (_, reliable) = run(4, &RunConfig::default());
+        assert!(report.end_time > reliable.end_time);
+    }
+
+    #[test]
+    fn reliable_network_never_retries() {
+        let (progs, _) = run(4, &RunConfig::default());
+        assert!(progs.iter().all(|p| p.drops_injected == 0 && p.retries == 0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Runtime breakdowns: the paper's four-way split of where time goes.
+//!
+//! Every comparative figure in the paper (Figs. 3, 4, 8, 9, 10) is a
+//! stacked breakdown of *Computation (Alignment)*, *Computation
+//! (Overhead)*, *Communication*, and *Synchronization*. This module turns a
+//! simulation report into that breakdown, with per-category cross-rank
+//! summaries and normalised fractions.
+
+use gnb_sim::engine::{SimReport, TimeCategory};
+use gnb_sim::Summary;
+use serde::{Deserialize, Serialize};
+
+/// A four-way runtime breakdown plus the overall (virtual) runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeBreakdown {
+    /// Seed-and-extend alignment compute, per rank (seconds).
+    pub compute: Summary,
+    /// Data-structure traversal / kernel invocation overhead.
+    pub overhead: Summary,
+    /// Visible (unhidden) communication latency.
+    pub comm: Summary,
+    /// Synchronization (barrier / imbalance) waiting.
+    pub sync: Summary,
+    /// Idle time the program never classified (should be ~0).
+    pub unclassified: Summary,
+    /// End-to-end runtime in seconds (the max finish across ranks).
+    pub total: f64,
+}
+
+impl RuntimeBreakdown {
+    /// Extracts the breakdown from a simulation report.
+    pub fn from_report(report: &SimReport) -> RuntimeBreakdown {
+        RuntimeBreakdown {
+            compute: report.category_summary(TimeCategory::Compute),
+            overhead: report.category_summary(TimeCategory::Overhead),
+            comm: report.category_summary(TimeCategory::Comm),
+            sync: report.category_summary(TimeCategory::Sync),
+            unclassified: Summary::of(
+                report.ranks.iter().map(|r| r.unclassified_idle.as_secs_f64()),
+            ),
+            total: report.end_time.as_secs_f64(),
+        }
+    }
+
+    /// Mean-per-rank fractions of the total runtime, in category order
+    /// `(compute, overhead, comm, sync)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        if self.total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.compute.mean / self.total,
+            self.overhead.mean / self.total,
+            self.comm.mean / self.total,
+            self.sync.mean / self.total,
+        )
+    }
+
+    /// Fraction of the runtime that is visible communication (the paper's
+    /// headline comparison quantity in §4.4).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.comm.mean / self.total
+        }
+    }
+
+    /// Compute load imbalance: max/mean of per-rank compute seconds
+    /// (Fig. 5's right axis).
+    pub fn compute_imbalance(&self) -> f64 {
+        self.compute.imbalance()
+    }
+
+    /// A TSV row: total and the four mean components (seconds).
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+            self.total, self.compute.mean, self.overhead.mean, self.comm.mean, self.sync.mean
+        )
+    }
+}
+
+impl std::fmt::Display for RuntimeBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (c, o, m, s) = self.fractions();
+        write!(
+            f,
+            "total {:.3}s | align {:.3}s ({:.1}%) | overhead {:.3}s ({:.1}%) | comm {:.3}s ({:.1}%) | sync {:.3}s ({:.1}%)",
+            self.total,
+            self.compute.mean,
+            c * 100.0,
+            self.overhead.mean,
+            o * 100.0,
+            self.comm.mean,
+            m * 100.0,
+            self.sync.mean,
+            s * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnb_sim::engine::RankReport;
+    use gnb_sim::SimTime;
+
+    fn report() -> SimReport {
+        let mk = |c: u64, o: u64, m: u64, s: u64| RankReport {
+            finish: SimTime::from_ns(c + o + m + s),
+            ledger: [
+                SimTime::from_ns(c),
+                SimTime::from_ns(o),
+                SimTime::from_ns(m),
+                SimTime::from_ns(s),
+            ],
+            unclassified_idle: SimTime::ZERO,
+            mem_peak: 0,
+        };
+        SimReport {
+            end_time: SimTime::from_ns(4_000_000_000),
+            ranks: vec![
+                mk(2_000_000_000, 100_000_000, 400_000_000, 1_500_000_000),
+                mk(3_900_000_000, 100_000_000, 0, 0),
+            ],
+            events: 2,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn extraction() {
+        let b = RuntimeBreakdown::from_report(&report());
+        assert!((b.total - 4.0).abs() < 1e-9);
+        assert!((b.compute.mean - 2.95).abs() < 1e-9);
+        assert!((b.compute.max - 3.9).abs() < 1e-9);
+        assert!((b.sync.mean - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_sensible() {
+        let b = RuntimeBreakdown::from_report(&report());
+        let (c, o, m, s) = b.fractions();
+        let sum = c + o + m + s;
+        assert!(sum > 0.9 && sum <= 1.0 + 1e-9, "sum {sum}");
+        assert!((b.comm_fraction() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance() {
+        let b = RuntimeBreakdown::from_report(&report());
+        assert!((b.compute_imbalance() - 3.9 / 2.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total() {
+        let r = SimReport {
+            end_time: SimTime::ZERO,
+            ranks: vec![],
+            events: 0,
+            trace: None,
+        };
+        let b = RuntimeBreakdown::from_report(&r);
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(b.comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tsv_row_has_five_fields() {
+        let b = RuntimeBreakdown::from_report(&report());
+        assert_eq!(b.tsv_row().split('\t').count(), 5);
+        let shown = format!("{b}");
+        assert!(shown.contains("total"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The per-task alignment cost model.
+//!
+//! In simulation, an alignment task is not executed — its cost is modelled
+//! in DP cells, the machine-independent unit every `gnb-align` kernel
+//! reports, then converted to core-seconds by the machine's cell rate.
+//!
+//! The model mirrors the X-drop kernel's behaviour (validated against it by
+//! `tests/cost_calibration.rs`):
+//!
+//! * **true overlap** of `v` bp: the live band tracks the main diagonal
+//!   over ≈ 2·v antidiagonals at a roughly constant width set by the X
+//!   threshold and scoring, so `cells ≈ band_width · v` (+ a per-task
+//!   floor). Deterministic per-task jitter models the variance from error
+//!   bursts and band wobble;
+//! * **false positive** (no genomic overlap): the band dies within a few
+//!   dozen antidiagonals — a small, nearly constant cost, again jittered.
+//!
+//! This cost asymmetry is the paper's central irregularity: tasks are
+//! balanced by *count*, but their costs vary by orders of magnitude
+//! (§4.2, Fig. 5).
+
+use gnb_align::Candidate;
+use serde::{Deserialize, Serialize};
+
+/// Cells-per-task model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// DP cells per base pair of true overlap (≈ the steady-state band
+    /// width of the X-drop extension).
+    pub cells_per_overlap_bp: f64,
+    /// Mean DP cells of a false-positive task (band dies early).
+    pub fp_cells: f64,
+    /// Per-task floor (seed scoring, extension setup), cells.
+    pub base_cells: f64,
+    /// Relative jitter amplitude (0–1): per-task multiplicative variation
+    /// in `[1 - j, 1 + j]`, deterministic in the task identity.
+    pub jitter: f64,
+    /// If `true`, every task costs zero cells — the paper's
+    /// communication-only mode used for Fig. 7 ("a mode that executes
+    /// everything except the pairwise alignment computation").
+    pub skip_compute: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Fitted against the real X-drop kernel at X=25, +1/−2/−2 scoring
+        // on CLR-error read pairs (see tests/cost_calibration.rs).
+        CostModel {
+            cells_per_overlap_bp: 38.0,
+            fp_cells: 1_800.0,
+            base_cells: 350.0,
+            jitter: 0.35,
+            skip_compute: false,
+        }
+    }
+}
+
+impl CostModel {
+    /// The Fig. 7 communication-only variant.
+    pub fn comm_only() -> CostModel {
+        CostModel {
+            skip_compute: true,
+            ..CostModel::default()
+        }
+    }
+
+    /// Modelled DP cells for a task with true genomic overlap
+    /// `overlap_len` (0 = false positive).
+    pub fn cells(&self, task: &Candidate, overlap_len: u32) -> f64 {
+        if self.skip_compute {
+            return 0.0;
+        }
+        let raw = if overlap_len == 0 {
+            self.fp_cells + self.base_cells
+        } else {
+            self.base_cells + self.cells_per_overlap_bp * overlap_len as f64
+        };
+        raw * self.jitter_factor(task)
+    }
+
+    /// Deterministic per-task jitter in `[1 - jitter, 1 + jitter]`.
+    fn jitter_factor(&self, task: &Candidate) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        let key = ((task.a as u64) << 32) | task.b as u64;
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 - self.jitter + 2.0 * self.jitter * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(a: u32, b: u32) -> Candidate {
+        Candidate {
+            a,
+            b,
+            a_pos: 0,
+            b_pos: 0,
+            same_strand: true,
+        }
+    }
+
+    #[test]
+    fn true_overlap_scales_linearly() {
+        let mut m = CostModel::default();
+        m.jitter = 0.0;
+        let c1 = m.cells(&task(0, 1), 1000);
+        let c2 = m.cells(&task(0, 1), 2000);
+        assert!((c2 - c1 - 1000.0 * m.cells_per_overlap_bp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_is_cheap() {
+        let mut m = CostModel::default();
+        m.jitter = 0.0;
+        let fp = m.cells(&task(0, 1), 0);
+        let long = m.cells(&task(0, 1), 10_000);
+        assert!(long > fp * 50.0, "true {long} vs fp {fp}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = CostModel::default();
+        for i in 0..100u32 {
+            let t = task(i, i + 1);
+            let a = m.cells(&t, 5000);
+            let b = m.cells(&t, 5000);
+            assert_eq!(a, b, "deterministic");
+            let nominal = m.base_cells + m.cells_per_overlap_bp * 5000.0;
+            assert!(a >= nominal * (1.0 - m.jitter) - 1e-6);
+            assert!(a <= nominal * (1.0 + m.jitter) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn jitter_varies_across_tasks() {
+        let m = CostModel::default();
+        let costs: Vec<f64> = (0..50).map(|i| m.cells(&task(i, i + 1), 5000)).collect();
+        let distinct = costs
+            .iter()
+            .map(|c| (c * 1000.0) as u64)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 40, "jitter should vary: {distinct} distinct");
+    }
+
+    #[test]
+    fn comm_only_zeroes_everything() {
+        let m = CostModel::comm_only();
+        assert_eq!(m.cells(&task(0, 1), 100_000), 0.0);
+        assert_eq!(m.cells(&task(0, 1), 0), 0.0);
+    }
+}

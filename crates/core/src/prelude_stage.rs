@@ -1,0 +1,115 @@
+//! DiBELLA prelude stages: the memory model that sets minimum node counts.
+//!
+//! The alignment study treats the task graph as fixed input, but the paper
+//! notes that the *pipeline's earlier stages* bound the machine size from
+//! below: "the initial stages of the DiBELLA pipeline, including the
+//! analysis necessary to compute alignment tasks, cannot complete with
+//! fewer than (4, 8] Cori KNL nodes" for Human CCS (§4.4), and DiBELLA is
+//! cited for "the challenge of working dataset size explosion" (§3).
+//!
+//! The explosion is the k-mer analysis working set: every input base spawns
+//! a k-mer occurrence record — packed k-mer, read id, position, plus hash
+//! table overhead — tens of bytes of working set per input byte. This
+//! module models that footprint and derives the minimum node count, which
+//! the experiment harness uses to start the Human CCS sweeps at 8 nodes
+//! exactly as the paper does.
+
+use crate::machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Working-set model of DiBELLA's k-mer analysis stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreludeModel {
+    /// Working-set bytes per input base during distributed k-mer counting
+    /// and candidate discovery (occurrence records + table overhead +
+    /// exchange buffers). Fitted so Human CCS (~12.7 Gbp input) needs
+    /// more than 4 and at most 8 Cori KNL nodes, as the paper states.
+    pub bytes_per_base: f64,
+    /// Fraction of a node's application memory usable by the stage
+    /// (leaving room for the partition itself and the runtime).
+    pub usable_fraction: f64,
+}
+
+impl Default for PreludeModel {
+    fn default() -> Self {
+        PreludeModel {
+            bytes_per_base: 45.0,
+            usable_fraction: 0.9,
+        }
+    }
+}
+
+impl PreludeModel {
+    /// Total working-set bytes for `input_bases` of reads.
+    pub fn working_set(&self, input_bases: u64) -> u64 {
+        (input_bases as f64 * self.bytes_per_base) as u64
+    }
+
+    /// Minimum number of nodes of `machine` that can hold the stage.
+    pub fn min_nodes(&self, input_bases: u64, machine: &MachineConfig) -> usize {
+        let per_node =
+            (machine.mem_per_core * machine.cores_per_node as u64) as f64 * self.usable_fraction;
+        let need = self.working_set(input_bases) as f64;
+        (need / per_node).ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knl() -> MachineConfig {
+        MachineConfig::cori_knl(1)
+    }
+
+    #[test]
+    fn human_ccs_needs_between_5_and_8_nodes() {
+        // Paper §4.4: minimum node count for Human CCS is in (4, 8].
+        let input: u64 = 1_148_839 * 11_060; // reads x mean length
+        let m = PreludeModel::default();
+        let min = m.min_nodes(input, &knl());
+        assert!(
+            min > 4 && min <= 8,
+            "paper: (4, 8] nodes; model says {min}"
+        );
+    }
+
+    #[test]
+    fn ecoli_fits_one_node() {
+        // Both E. coli workloads run from a single node in the paper.
+        let m = PreludeModel::default();
+        let ecoli30: u64 = 16_890 * 8_244;
+        let ecoli100: u64 = 91_394 * 5_079;
+        assert_eq!(m.min_nodes(ecoli30, &knl()), 1);
+        assert_eq!(m.min_nodes(ecoli100, &knl()), 1);
+    }
+
+    #[test]
+    fn working_set_scales_linearly() {
+        let m = PreludeModel::default();
+        assert_eq!(m.working_set(2_000), 2 * m.working_set(1_000));
+        assert_eq!(m.working_set(0), 0);
+    }
+
+    #[test]
+    fn min_nodes_monotone_in_input() {
+        let m = PreludeModel::default();
+        let mut last = 0;
+        for gb in [1u64, 4, 16, 64] {
+            let n = m.min_nodes(gb * 1_000_000_000, &knl());
+            assert!(n >= last);
+            last = n;
+        }
+        assert!(last > 1);
+    }
+
+    #[test]
+    fn more_memory_fewer_nodes() {
+        let m = PreludeModel::default();
+        let input = 12_700_000_000u64;
+        let small = knl();
+        let mut big = knl();
+        big.mem_per_core *= 4;
+        assert!(m.min_nodes(input, &big) < m.min_nodes(input, &small));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for workload preparation, the BSP round planner,
+//! and the cost model.
+
+use gnb_align::Candidate;
+use gnb_core::bsp::plan_bsp;
+use gnb_core::driver::RunConfig;
+use gnb_core::workload::SimWorkload;
+use gnb_core::{CostModel, MachineConfig};
+use proptest::prelude::*;
+
+fn arb_tasks(nreads: usize, max_tasks: usize) -> impl Strategy<Value = Vec<(Candidate, u32)>> {
+    let n = nreads as u32;
+    proptest::collection::vec((0..n, 0..n, 0u32..20_000, any::<bool>()), 0..max_tasks).prop_map(
+        |raw| {
+            let mut v: Vec<(Candidate, u32)> = raw
+                .into_iter()
+                .filter(|(a, b, _, _)| a != b)
+                .map(|(x, y, ov, s)| {
+                    (
+                        Candidate {
+                            a: x.min(y),
+                            b: x.max(y),
+                            a_pos: 0,
+                            b_pos: 0,
+                            same_strand: s,
+                        },
+                        ov,
+                    )
+                })
+                .collect();
+            v.sort_by_key(|(c, _)| (c.a, c.b));
+            v.dedup_by_key(|(c, _)| (c.a, c.b));
+            v
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Preparation conserves tasks, preserves the ownership invariant, and
+    /// balances counts tightly, for arbitrary task graphs and rank counts.
+    #[test]
+    fn prepare_invariants(
+        lens in proptest::collection::vec(100usize..20_000, 4..80),
+        nranks in 1usize..12,
+        seed_tasks in arb_tasks(80, 400),
+    ) {
+        let tasks: Vec<Candidate> = seed_tasks
+            .iter()
+            .filter(|(c, _)| (c.b as usize) < lens.len())
+            .map(|(c, _)| *c)
+            .collect();
+        let ovs: Vec<u32> = seed_tasks
+            .iter()
+            .filter(|(c, _)| (c.b as usize) < lens.len())
+            .map(|(_, ov)| *ov)
+            .collect();
+        let w = SimWorkload::prepare(&lens, &tasks, &ovs, nranks);
+        w.validate(); // ownership + conservation (panics on violation)
+        // Count balance: max - min <= small bound for the greedy.
+        let counts: Vec<usize> = w.per_rank.iter().map(|r| r.total_tasks()).collect();
+        let max = *counts.iter().max().unwrap_or(&0);
+        let min = *counts.iter().min().unwrap_or(&0);
+        // Greedy least-loaded with two choices per task cannot be worse
+        // than one endpoint-forced task per step beyond optimal spread;
+        // allow generous slack for degenerate ownership patterns.
+        prop_assert!(max - min <= (tasks.len() / nranks).max(8) , "max {max} min {min}");
+        // Exchange symmetry.
+        let recv: u64 = w.recv_bytes().iter().sum();
+        let send: u64 = w.send_bytes.iter().sum();
+        prop_assert_eq!(recv, send);
+    }
+
+    /// The BSP planner conserves tasks and bytes across rounds for any
+    /// memory budget, and rounds shrink as memory grows.
+    #[test]
+    fn bsp_plan_conserves(
+        lens in proptest::collection::vec(500usize..8_000, 8..40),
+        mem_mb in 1u64..64,
+    ) {
+        let n = lens.len() as u32;
+        let tasks: Vec<Candidate> = (0..n)
+            .flat_map(|a| ((a + 1)..n.min(a + 6)).map(move |b| Candidate {
+                a, b, a_pos: 0, b_pos: 0, same_strand: true,
+            }))
+            .collect();
+        let ovs = vec![1_000u32; tasks.len()];
+        let mut machine = MachineConfig::cori_knl(2).with_cores_per_node(4);
+        machine.mem_per_core = mem_mb << 20;
+        let w = SimWorkload::prepare(&lens, &tasks, &ovs, machine.nranks());
+        let cfg = RunConfig::default();
+        let plan = plan_bsp(&w, &machine, &cfg);
+        // Tasks conserved across rounds.
+        let planned: u64 = plan.per_rank.iter().map(|p| p.tasks.iter().sum::<u64>()).sum();
+        prop_assert_eq!(planned as usize, w.total_tasks);
+        // Bytes conserved across rounds.
+        for (p, rd) in plan.per_rank.iter().zip(&w.per_rank) {
+            prop_assert_eq!(p.recv_bytes.iter().sum::<u64>(), rd.recv_bytes());
+        }
+        // A machine with plenty of memory plans a single round.
+        let mut big = machine;
+        big.mem_per_core = 8 << 30;
+        let single = plan_bsp(&w, &big, &cfg);
+        prop_assert_eq!(single.rounds, 1);
+        prop_assert!(plan.rounds >= 1);
+    }
+
+    /// Cost model: monotone in overlap length, bounded jitter, and
+    /// comm-only zeroes everything.
+    #[test]
+    fn cost_model_properties(a in 0u32..10_000, b in 0u32..10_000, ov in 1u32..100_000) {
+        prop_assume!(a != b);
+        let t = Candidate { a: a.min(b), b: a.max(b) + 1, a_pos: 0, b_pos: 0, same_strand: true };
+        let m = CostModel::default();
+        let c1 = m.cells(&t, ov);
+        let c2 = m.cells(&t, ov.saturating_mul(2));
+        prop_assert!(c2 >= c1, "monotone in overlap");
+        let nominal = m.base_cells + m.cells_per_overlap_bp * ov as f64;
+        prop_assert!(c1 >= nominal * (1.0 - m.jitter) - 1e-6);
+        prop_assert!(c1 <= nominal * (1.0 + m.jitter) + 1e-6);
+        prop_assert_eq!(CostModel::comm_only().cells(&t, ov), 0.0);
+    }
+}

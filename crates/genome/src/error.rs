@@ -1,0 +1,164 @@
+//! Long-read sequencer error model.
+//!
+//! The paper (§2) describes long-read sequencers emitting errors at
+//! historically 5–35% rates, as insertions, deletions, substitutions, and
+//! `N` on low-confidence calls. This model applies those edits per base with
+//! a configurable mix; PacBio CLR-style chemistry is indel-dominated, while
+//! CCS/HiFi reads are ~1% error. The error rate is the lever that controls
+//! false-positive seed candidates downstream (erroneous k-mers) and hence
+//! the variable alignment costs the paper's load-imbalance analysis hinges
+//! on.
+
+use crate::genome::mutate_base;
+use crate::seq::BASES;
+use rand::Rng;
+
+/// Per-base error process for simulated reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Probability a base is substituted by a different base.
+    pub sub_rate: f64,
+    /// Probability a spurious base is inserted before a base.
+    pub ins_rate: f64,
+    /// Probability a base is deleted.
+    pub del_rate: f64,
+    /// Probability a base is replaced by `N` (low-confidence call).
+    pub n_rate: f64,
+}
+
+impl ErrorModel {
+    /// An error-free model (useful in tests and for idealised workloads).
+    pub const PERFECT: ErrorModel = ErrorModel {
+        sub_rate: 0.0,
+        ins_rate: 0.0,
+        del_rate: 0.0,
+        n_rate: 0.0,
+    };
+
+    /// A model with total error rate `e` split in PacBio CLR proportions
+    /// (insertion-heavy: 45% ins / 35% del / 20% sub) plus a small fixed
+    /// `N` rate.
+    pub fn clr(e: f64) -> Self {
+        assert!((0.0..=0.5).contains(&e), "error rate must be in [0, 0.5]");
+        ErrorModel {
+            sub_rate: 0.20 * e,
+            ins_rate: 0.45 * e,
+            del_rate: 0.35 * e,
+            n_rate: 0.002,
+        }
+    }
+
+    /// A CCS/HiFi-style model with total error rate `e` split evenly and a
+    /// tiny `N` rate.
+    pub fn ccs(e: f64) -> Self {
+        assert!((0.0..=0.5).contains(&e), "error rate must be in [0, 0.5]");
+        ErrorModel {
+            sub_rate: e / 3.0,
+            ins_rate: e / 3.0,
+            del_rate: e / 3.0,
+            n_rate: 0.0005,
+        }
+    }
+
+    /// Total per-base edit probability (excluding `N` calls).
+    pub fn total_rate(&self) -> f64 {
+        self.sub_rate + self.ins_rate + self.del_rate
+    }
+
+    /// Applies the error process to a fragment, returning the noisy read.
+    ///
+    /// Edits are applied independently per input base: possible insertion
+    /// before it, then deletion / substitution / `N` replacement of it. The
+    /// output length therefore differs from the input length by the indel
+    /// balance.
+    pub fn corrupt<R: Rng + ?Sized>(&self, rng: &mut R, fragment: &[u8]) -> Vec<u8> {
+        if self.total_rate() == 0.0 && self.n_rate == 0.0 {
+            return fragment.to_vec();
+        }
+        let mut out = Vec::with_capacity(fragment.len() + fragment.len() / 8);
+        for &b in fragment {
+            if rng.gen::<f64>() < self.ins_rate {
+                out.push(BASES[rng.gen_range(0..4)]);
+            }
+            let r: f64 = rng.gen();
+            if r < self.del_rate {
+                continue; // base dropped
+            } else if r < self.del_rate + self.sub_rate {
+                out.push(mutate_base(rng, b));
+            } else if r < self.del_rate + self.sub_rate + self.n_rate {
+                out.push(b'N');
+            } else {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::seq::is_valid_dna;
+
+    #[test]
+    fn perfect_model_is_identity() {
+        let mut rng = rng_from_seed(1);
+        let frag = b"ACGTACGTACGT";
+        assert_eq!(ErrorModel::PERFECT.corrupt(&mut rng, frag), frag.to_vec());
+    }
+
+    #[test]
+    fn output_is_valid_dna() {
+        let mut rng = rng_from_seed(2);
+        let frag: Vec<u8> = (0..5000).map(|i| BASES[i % 4]).collect();
+        let noisy = ErrorModel::clr(0.15).corrupt(&mut rng, &frag);
+        assert!(is_valid_dna(&noisy));
+    }
+
+    #[test]
+    fn observed_divergence_tracks_rate() {
+        // Hamming-style check: count positions kept identical is roughly
+        // (1 - sub - del - n) of the input length; indels shift length.
+        let mut rng = rng_from_seed(3);
+        let frag: Vec<u8> = (0..200_000).map(|i| BASES[(i * 7 + 3) % 4]).collect();
+        let m = ErrorModel::clr(0.15);
+        let noisy = m.corrupt(&mut rng, &frag);
+        let expected_len = frag.len() as f64 * (1.0 + m.ins_rate - m.del_rate);
+        let got = noisy.len() as f64;
+        assert!(
+            (got - expected_len).abs() / expected_len < 0.02,
+            "len {} vs expected {}",
+            got,
+            expected_len
+        );
+        let n_count = noisy.iter().filter(|&&b| b == b'N').count();
+        let n_frac = n_count as f64 / noisy.len() as f64;
+        assert!((n_frac - m.n_rate).abs() < 0.001, "N fraction {n_frac}");
+    }
+
+    #[test]
+    fn ccs_is_much_cleaner_than_clr() {
+        let mut rng = rng_from_seed(4);
+        let frag: Vec<u8> = (0..50_000).map(|i| BASES[(i * 5 + 1) % 4]).collect();
+        let clr = ErrorModel::clr(0.15).corrupt(&mut rng, &frag);
+        let ccs = ErrorModel::ccs(0.01).corrupt(&mut rng, &frag);
+        // Proxy for error content: longest common prefix with the original.
+        fn lcp(a: &[u8], b: &[u8]) -> usize {
+            a.iter().zip(b).take_while(|(x, y)| x == y).count()
+        }
+        assert!(lcp(&ccs, &frag) > lcp(&clr, &frag));
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn rejects_absurd_rate() {
+        let _ = ErrorModel::clr(0.9);
+    }
+
+    #[test]
+    fn empty_fragment() {
+        let mut rng = rng_from_seed(5);
+        assert!(ErrorModel::clr(0.2).corrupt(&mut rng, b"").is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Synthetic reference genome generation.
+//!
+//! Real genomes are not uniformly random: repeat families (transposons,
+//! segmental duplications) are what make k-mer-based overlap candidate
+//! generation produce false positives, which in turn drive the
+//! variable-cost alignment behaviour the paper studies (early termination on
+//! false-positive candidates, §2 and §4.2). The generator therefore plants a
+//! configurable fraction of repeated sequence drawn from a small library of
+//! repeat elements, each copied with point mutations.
+
+use crate::rng::rng_from_seed;
+use crate::seq::BASES;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters for synthetic genome construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenomeParams {
+    /// Total genome length in base pairs.
+    pub len: usize,
+    /// Fraction of the genome covered by repeat-element copies (0.0–0.95).
+    pub repeat_fraction: f64,
+    /// Number of distinct repeat families in the library.
+    pub repeat_families: usize,
+    /// Length of each repeat element, in base pairs.
+    pub repeat_len: usize,
+    /// Per-base divergence applied to each planted repeat copy, so copies
+    /// are near- but not exact duplicates (as in real genomes).
+    pub repeat_divergence: f64,
+}
+
+impl GenomeParams {
+    /// A uniform random genome with no repeat structure.
+    pub fn uniform(len: usize) -> Self {
+        GenomeParams {
+            len,
+            repeat_fraction: 0.0,
+            repeat_families: 0,
+            repeat_len: 0,
+            repeat_divergence: 0.0,
+        }
+    }
+
+    /// A genome with `frac` of its length covered by mutated copies from
+    /// `families` repeat families of length `repeat_len`.
+    pub fn with_repeats(len: usize, frac: f64, families: usize, repeat_len: usize) -> Self {
+        GenomeParams {
+            len,
+            repeat_fraction: frac,
+            repeat_families: families,
+            repeat_len,
+            repeat_divergence: 0.02,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.len > 0, "genome length must be positive");
+        assert!(
+            (0.0..=0.95).contains(&self.repeat_fraction),
+            "repeat_fraction must be in [0, 0.95], got {}",
+            self.repeat_fraction
+        );
+        if self.repeat_fraction > 0.0 {
+            assert!(self.repeat_families > 0, "need at least one repeat family");
+            assert!(
+                self.repeat_len > 0 && self.repeat_len <= self.len,
+                "repeat_len must be in (0, genome len]"
+            );
+        }
+    }
+}
+
+/// A synthetic reference genome.
+#[derive(Debug, Clone)]
+pub struct Genome {
+    /// The sequence, over `{A,C,G,T}` (references contain no `N`).
+    pub seq: Vec<u8>,
+    /// Parameters it was generated with.
+    pub params: GenomeParams,
+    /// Seed it was generated with.
+    pub seed: u64,
+}
+
+impl Genome {
+    /// Generates a genome deterministically from `params` and `seed`.
+    pub fn generate(params: GenomeParams, seed: u64) -> Self {
+        params.validate();
+        let mut rng = rng_from_seed(seed ^ 0x6e6f_6d65_5f67_656e);
+        let mut seq = random_bases(&mut rng, params.len);
+
+        if params.repeat_fraction > 0.0 {
+            let library: Vec<Vec<u8>> = (0..params.repeat_families)
+                .map(|_| random_bases(&mut rng, params.repeat_len))
+                .collect();
+            let target_bases = (params.len as f64 * params.repeat_fraction) as usize;
+            let mut planted = 0usize;
+            // Plant mutated copies at random positions until the target
+            // repeat content is reached. Overlapping plants are fine; they
+            // only increase local self-similarity.
+            while planted < target_bases {
+                let fam = &library[rng.gen_range(0..library.len())];
+                let copy_len = fam.len().min(params.len);
+                let pos = rng.gen_range(0..=params.len - copy_len);
+                for (i, &b) in fam[..copy_len].iter().enumerate() {
+                    seq[pos + i] = if rng.gen::<f64>() < params.repeat_divergence {
+                        mutate_base(&mut rng, b)
+                    } else {
+                        b
+                    };
+                }
+                planted += copy_len;
+            }
+        }
+
+        Genome { seq, params, seed }
+    }
+
+    /// Genome length in base pairs.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Returns `true` if the genome is empty (never the case for generated
+    /// genomes; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+fn random_bases(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// Substitutes `b` with a uniformly random *different* base.
+pub(crate) fn mutate_base<R: Rng + ?Sized>(rng: &mut R, b: u8) -> u8 {
+    loop {
+        let c = BASES[rng.gen_range(0..4)];
+        if c != b {
+            return c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::is_valid_dna;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generates_requested_length() {
+        let g = Genome::generate(GenomeParams::uniform(10_000), 1);
+        assert_eq!(g.len(), 10_000);
+        assert!(is_valid_dna(&g.seq));
+        assert!(!g.seq.contains(&b'N'));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Genome::generate(GenomeParams::uniform(5000), 9);
+        let b = Genome::generate(GenomeParams::uniform(5000), 9);
+        let c = Genome::generate(GenomeParams::uniform(5000), 10);
+        assert_eq!(a.seq, b.seq);
+        assert_ne!(a.seq, c.seq);
+    }
+
+    #[test]
+    fn base_composition_roughly_uniform() {
+        let g = Genome::generate(GenomeParams::uniform(100_000), 3);
+        let mut counts: HashMap<u8, usize> = HashMap::new();
+        for &b in &g.seq {
+            *counts.entry(b).or_default() += 1;
+        }
+        for &b in b"ACGT" {
+            let f = counts[&b] as f64 / g.len() as f64;
+            assert!((f - 0.25).abs() < 0.01, "base {} freq {}", b as char, f);
+        }
+    }
+
+    #[test]
+    fn repeats_increase_kmer_multiplicity() {
+        // Count 21-mer duplication rate with and without repeats; the
+        // repeat-rich genome must have markedly more duplicated k-mers.
+        fn dup_rate(g: &Genome) -> f64 {
+            let k = 21;
+            let mut counts: HashMap<&[u8], usize> = HashMap::new();
+            for w in g.seq.windows(k) {
+                *counts.entry(w).or_default() += 1;
+            }
+            let dup = counts.values().filter(|&&c| c > 1).count();
+            dup as f64 / counts.len() as f64
+        }
+        let plain = Genome::generate(GenomeParams::uniform(200_000), 4);
+        let repeaty = Genome::generate(GenomeParams::with_repeats(200_000, 0.3, 5, 2000), 4);
+        assert_eq!(repeaty.len(), 200_000);
+        assert!(
+            dup_rate(&repeaty) > dup_rate(&plain) * 5.0 + 0.001,
+            "repeat genome should have many more duplicated k-mers"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat_fraction")]
+    fn rejects_excessive_repeat_fraction() {
+        let _ = Genome::generate(GenomeParams::with_repeats(1000, 0.99, 1, 100), 0);
+    }
+
+    #[test]
+    fn mutate_base_changes_base() {
+        let mut rng = rng_from_seed(5);
+        for &b in &BASES {
+            for _ in 0..10 {
+                assert_ne!(mutate_base(&mut rng, b), b);
+            }
+        }
+    }
+}

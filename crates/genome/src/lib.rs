@@ -1,0 +1,46 @@
+//! Synthetic genomics substrate for the `gnb` workspace.
+//!
+//! The ICPP 2021 paper evaluates many-to-many long-read alignment on three
+//! real PacBio datasets (*E. coli* 30×, *E. coli* 100×, *Human* CCS). Those
+//! raw datasets are not redistributable here, so this crate provides the
+//! closest synthetic equivalent: a deterministic genome generator with
+//! controllable repeat structure, a long-read sampler with configurable
+//! coverage and read-length distribution, and a sequencer error model
+//! (substitutions, insertions, deletions, and low-confidence `N` calls over
+//! the 5-letter alphabet `{A,C,G,T,N}`).
+//!
+//! The performance-relevant properties of the real workloads — read-length
+//! variance (communication imbalance), coverage (k-mer multiplicity and task
+//! counts), and error rate (false-positive seeds and compute-cost variance)
+//! — are each directly controlled by a preset parameter, so the downstream
+//! scaling study exercises the same code paths as the paper's runs.
+//!
+//! # Quick example
+//!
+//! ```
+//! use gnb_genome::{presets, ReadSet};
+//!
+//! // A tiny deterministic workload (scaled-down E. coli 30x profile).
+//! let preset = presets::ecoli_30x().scaled(512);
+//! let reads = preset.generate(42);
+//! assert!(reads.len() > 0);
+//! let total: usize = (0..reads.len()).map(|i| reads.read(i).len()).sum();
+//! assert!(total as f64 >= 0.5 * preset.genome_len as f64 * preset.coverage);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fasta;
+pub mod genome;
+pub mod presets;
+pub mod reads;
+pub mod rng;
+pub mod seq;
+pub mod stats;
+
+pub use error::ErrorModel;
+pub use genome::{Genome, GenomeParams};
+pub use presets::WorkloadPreset;
+pub use reads::{ReadOrigin, ReadSet, Strand};
+pub use seq::{complement, is_valid_dna, revcomp, revcomp_in_place};

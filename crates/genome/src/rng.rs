@@ -1,0 +1,229 @@
+//! Deterministic random sampling helpers.
+//!
+//! The workspace needs log-normal (read lengths), normal, and Poisson
+//! (k-mer multiplicity model checks) variates. To keep the dependency set to
+//! the approved list, the distribution samplers are implemented here on top
+//! of `rand`'s uniform source rather than pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard deterministic RNG from a `u64` seed.
+///
+/// Every generator in the repo threads an explicit seed so that datasets,
+/// task graphs, and simulations are reproducible run-to-run.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws `Normal(mean, sd)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * sample_standard_normal(rng)
+}
+
+/// A log-normal distribution parameterised by the *arithmetic* mean of the
+/// variate and the standard deviation `sigma` of its natural logarithm.
+///
+/// Long-read length distributions are commonly modelled as log-normal; the
+/// arithmetic-mean parameterisation makes preset design direct ("mean read
+/// length 8 kbp") while `sigma` controls the heavy tail that drives the
+/// paper's communication imbalance (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of ln X.
+    pub mu: f64,
+    /// Standard deviation of ln X.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Builds the distribution from the arithmetic mean `E[X]` and log-space
+    /// standard deviation `sigma`.
+    ///
+    /// Uses `E[X] = exp(mu + sigma^2 / 2)`, so `mu = ln(mean) - sigma^2/2`.
+    ///
+    /// # Panics
+    /// Panics if `mean <= 0` or `sigma < 0`.
+    pub fn from_mean_sigma(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive, got {mean}");
+        assert!(sigma >= 0.0, "log-normal sigma must be non-negative");
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    /// Arithmetic mean `E[X]` of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Samples one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * sample_standard_normal(rng)).exp()
+    }
+}
+
+/// Draws a Poisson(λ) variate.
+///
+/// Uses Knuth's product-of-uniforms method for small λ and a rounded normal
+/// approximation for large λ (adequate for the statistical checks this
+/// workspace performs; never used in a hot path).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = sample_normal(rng, lambda, lambda.sqrt());
+        if x < 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+}
+
+/// Probability mass function of Poisson(λ) at `k`, computed in log space for
+/// numerical stability at large λ.
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (kf * lambda.ln() - lambda - ln_factorial(k)).exp()
+}
+
+/// `ln(k!)` via Stirling's series for large `k`, exact summation for small.
+pub fn ln_factorial(k: u64) -> f64 {
+    if k < 32 {
+        let mut acc = 0.0;
+        for i in 2..=k {
+            acc += (i as f64).ln();
+        }
+        acc
+    } else {
+        // Stirling's approximation with the 1/(12k) correction term.
+        let kf = k as f64;
+        kf * kf.ln() - kf + 0.5 * (2.0 * std::f64::consts::PI * kf).ln() + 1.0 / (12.0 * kf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = sample_standard_normal(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_parameterisation() {
+        let d = LogNormal::from_mean_sigma(8000.0, 0.4);
+        assert!((d.mean() - 8000.0).abs() < 1e-6);
+        let mut rng = rng_from_seed(2);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += d.sample(&mut rng);
+        }
+        let emp = sum / n as f64;
+        assert!(
+            (emp - 8000.0).abs() / 8000.0 < 0.02,
+            "empirical mean {emp} vs 8000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lognormal_rejects_nonpositive_mean() {
+        let _ = LogNormal::from_mean_sigma(0.0, 0.3);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = rng_from_seed(3);
+        let lambda = 4.2;
+        let n = 100_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            sum += sample_poisson(&mut rng, lambda);
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = rng_from_seed(4);
+        let lambda = 250.0;
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            sum += sample_poisson(&mut rng, lambda);
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() / lambda < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = rng_from_seed(5);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let lambda = 9.0;
+        let total: f64 = (0..200).map(|k| poisson_pmf(lambda, k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn ln_factorial_consistency_at_boundary() {
+        // Exact summation and Stirling must agree where they meet.
+        let exact: f64 = (2..=32u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(32) - exact).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,128 @@
+//! DNA sequence primitives over the 5-letter alphabet `{A, C, G, T, N}`.
+//!
+//! Long-read sequencers emit `N` on low-confidence base calls, so every
+//! routine in the workspace must tolerate `N` (the k-mer layer skips windows
+//! containing it; the alignment layer scores it as a guaranteed mismatch).
+
+/// The four unambiguous DNA bases, in the canonical 2-bit encoding order.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Returns `true` if `b` is one of `A`, `C`, `G`, `T`, `N` (upper case).
+#[inline]
+pub fn is_valid_base(b: u8) -> bool {
+    matches!(b, b'A' | b'C' | b'G' | b'T' | b'N')
+}
+
+/// Returns `true` if every byte of `seq` is a valid upper-case DNA base
+/// (including `N`).
+pub fn is_valid_dna(seq: &[u8]) -> bool {
+    seq.iter().copied().all(is_valid_base)
+}
+
+/// Watson–Crick complement of a single base. `N` complements to `N`.
+///
+/// Any byte outside the alphabet is mapped to `N` rather than panicking so
+/// that the error paths of file ingestion stay total.
+#[inline]
+pub fn complement(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'T' => b'A',
+        _ => b'N',
+    }
+}
+
+/// Reverse complement of `seq` as a new vector.
+pub fn revcomp(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement(b)).collect()
+}
+
+/// Reverse-complements `seq` in place without allocating.
+pub fn revcomp_in_place(seq: &mut [u8]) {
+    let n = seq.len();
+    for i in 0..n / 2 {
+        let (a, b) = (seq[i], seq[n - 1 - i]);
+        seq[i] = complement(b);
+        seq[n - 1 - i] = complement(a);
+    }
+    if n % 2 == 1 {
+        let mid = n / 2;
+        seq[mid] = complement(seq[mid]);
+    }
+}
+
+/// Maps a base to its 2-bit code (`A=0, C=1, G=2, T=3`).
+///
+/// Returns `None` for `N` or any non-alphabet byte; callers that slide
+/// windows over reads use this to reset on ambiguous bases.
+#[inline]
+pub fn base_to_2bit(b: u8) -> Option<u8> {
+    match b {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+/// Inverse of [`base_to_2bit`]; panics if `code > 3`.
+#[inline]
+pub fn base_from_2bit(code: u8) -> u8 {
+    BASES[code as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(complement(b'A'), b'T');
+        assert_eq!(complement(b'T'), b'A');
+        assert_eq!(complement(b'C'), b'G');
+        assert_eq!(complement(b'G'), b'C');
+        assert_eq!(complement(b'N'), b'N');
+        assert_eq!(complement(b'x'), b'N');
+    }
+
+    #[test]
+    fn revcomp_simple() {
+        assert_eq!(revcomp(b"ACGTN"), b"NACGT".to_vec());
+        assert_eq!(revcomp(b""), Vec::<u8>::new());
+        assert_eq!(revcomp(b"A"), b"T".to_vec());
+    }
+
+    #[test]
+    fn revcomp_in_place_matches_allocating() {
+        let cases: &[&[u8]] = &[b"", b"A", b"AC", b"ACG", b"ACGT", b"GATTACANNN"];
+        for &c in cases {
+            let mut buf = c.to_vec();
+            revcomp_in_place(&mut buf);
+            assert_eq!(buf, revcomp(c), "case {:?}", std::str::from_utf8(c));
+        }
+    }
+
+    #[test]
+    fn revcomp_is_involution() {
+        let s = b"ACGTACGTNNGATTACA";
+        assert_eq!(revcomp(&revcomp(s)), s.to_vec());
+    }
+
+    #[test]
+    fn two_bit_round_trip() {
+        for &b in &BASES {
+            assert_eq!(base_from_2bit(base_to_2bit(b).unwrap()), b);
+        }
+        assert_eq!(base_to_2bit(b'N'), None);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(is_valid_dna(b"ACGTN"));
+        assert!(!is_valid_dna(b"ACGU"));
+        assert!(is_valid_dna(b""));
+    }
+}

@@ -1,0 +1,135 @@
+//! Dataset summary statistics (read counts, length distribution, N
+//! content), used by the Table 1 reproduction and by calibration tests.
+
+use crate::reads::ReadSet;
+
+/// Summary statistics of a read set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadSetStats {
+    /// Number of reads.
+    pub reads: usize,
+    /// Total bases across reads.
+    pub total_bases: usize,
+    /// Minimum read length.
+    pub min_len: usize,
+    /// Maximum read length.
+    pub max_len: usize,
+    /// Mean read length.
+    pub mean_len: f64,
+    /// Median read length.
+    pub median_len: usize,
+    /// N50: length such that reads of at least this length contain half the
+    /// total bases (standard assembly-world summary of a length
+    /// distribution's heavy tail).
+    pub n50: usize,
+    /// Fraction of bases that are `N`.
+    pub n_fraction: f64,
+}
+
+/// Computes [`ReadSetStats`] for `reads`.
+///
+/// Returns a zeroed struct for an empty set.
+pub fn read_set_stats(reads: &ReadSet) -> ReadSetStats {
+    if reads.is_empty() {
+        return ReadSetStats {
+            reads: 0,
+            total_bases: 0,
+            min_len: 0,
+            max_len: 0,
+            mean_len: 0.0,
+            median_len: 0,
+            n50: 0,
+            n_fraction: 0.0,
+        };
+    }
+    let mut lens = reads.lengths();
+    lens.sort_unstable();
+    let total: usize = lens.iter().sum();
+    let n_count: usize = reads
+        .iter()
+        .map(|(_, s)| s.iter().filter(|&&b| b == b'N').count())
+        .sum();
+    let mut acc = 0usize;
+    let mut n50 = *lens.last().unwrap();
+    for &l in lens.iter().rev() {
+        acc += l;
+        if acc * 2 >= total {
+            n50 = l;
+            break;
+        }
+    }
+    ReadSetStats {
+        reads: lens.len(),
+        total_bases: total,
+        min_len: lens[0],
+        max_len: *lens.last().unwrap(),
+        mean_len: total as f64 / lens.len() as f64,
+        median_len: lens[lens.len() / 2],
+        n50,
+        n_fraction: n_count as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reads::{ReadOrigin, Strand};
+
+    fn set_of(lens: &[usize]) -> ReadSet {
+        let mut rs = ReadSet::new();
+        for &l in lens {
+            rs.push(
+                &vec![b'A'; l],
+                ReadOrigin {
+                    start: 0,
+                    ref_len: l,
+                    strand: Strand::Forward,
+                },
+            );
+        }
+        rs
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = read_set_stats(&ReadSet::new());
+        assert_eq!(s.reads, 0);
+        assert_eq!(s.total_bases, 0);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = read_set_stats(&set_of(&[100, 200, 300, 400]));
+        assert_eq!(s.reads, 4);
+        assert_eq!(s.total_bases, 1000);
+        assert_eq!(s.min_len, 100);
+        assert_eq!(s.max_len, 400);
+        assert!((s.mean_len - 250.0).abs() < 1e-9);
+        assert_eq!(s.median_len, 300);
+        // Reads >= 300 contain 700 >= 500 bases; reads >= 400 contain only 400.
+        assert_eq!(s.n50, 300);
+        assert_eq!(s.n_fraction, 0.0);
+    }
+
+    #[test]
+    fn n_fraction_counted() {
+        let mut rs = ReadSet::new();
+        rs.push(
+            b"ANNA",
+            ReadOrigin {
+                start: 0,
+                ref_len: 4,
+                strand: Strand::Forward,
+            },
+        );
+        let s = read_set_stats(&rs);
+        assert!((s.n_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n50_single_read() {
+        let s = read_set_stats(&set_of(&[777]));
+        assert_eq!(s.n50, 777);
+        assert_eq!(s.median_len, 777);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for sequence primitives and samplers.
+
+use gnb_genome::rng::LogNormal;
+use gnb_genome::seq::{complement, is_valid_dna, revcomp, revcomp_in_place};
+use gnb_genome::{ErrorModel, Genome, GenomeParams};
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// revcomp is an involution over the 5-letter alphabet.
+    #[test]
+    fn revcomp_involution(s in dna(200)) {
+        prop_assert_eq!(revcomp(&revcomp(&s)), s);
+    }
+
+    /// In-place and allocating reverse complements agree.
+    #[test]
+    fn revcomp_in_place_agrees(s in dna(200)) {
+        let mut buf = s.clone();
+        revcomp_in_place(&mut buf);
+        prop_assert_eq!(buf, revcomp(&s));
+    }
+
+    /// Complement is self-inverse on valid bases.
+    #[test]
+    fn complement_self_inverse(s in dna(100)) {
+        for &b in &s {
+            prop_assert_eq!(complement(complement(b)), b);
+        }
+    }
+
+    /// The error model always emits valid DNA and respects the indel
+    /// balance within statistical tolerance on long fragments.
+    #[test]
+    fn error_model_total(e in 0.0f64..0.3, seed in 0u64..1000) {
+        let mut rng = gnb_genome::rng::rng_from_seed(seed);
+        let frag: Vec<u8> = (0..2000).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
+        let m = ErrorModel::clr(e);
+        let noisy = m.corrupt(&mut rng, &frag);
+        prop_assert!(is_valid_dna(&noisy));
+        // Length within plausible bounds.
+        let expect = frag.len() as f64 * (1.0 + m.ins_rate - m.del_rate);
+        prop_assert!((noisy.len() as f64 - expect).abs() < 0.25 * frag.len() as f64 + 50.0);
+    }
+
+    /// Genome generation is deterministic and always valid.
+    #[test]
+    fn genome_deterministic(len in 100usize..5000, seed in 0u64..100) {
+        let a = Genome::generate(GenomeParams::uniform(len), seed);
+        let b = Genome::generate(GenomeParams::uniform(len), seed);
+        prop_assert_eq!(&a.seq, &b.seq);
+        prop_assert_eq!(a.len(), len);
+        prop_assert!(is_valid_dna(&a.seq));
+    }
+
+    /// LogNormal sampling stays positive and matches its configured mean
+    /// within broad tolerance.
+    #[test]
+    fn lognormal_positive(mean in 10.0f64..10000.0, sigma in 0.0f64..1.0, seed in 0u64..50) {
+        let d = LogNormal::from_mean_sigma(mean, sigma);
+        let mut rng = gnb_genome::rng::rng_from_seed(seed);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+        prop_assert!((d.mean() - mean).abs() / mean < 1e-9);
+    }
+}

@@ -1,0 +1,207 @@
+//! The BELLA reliable-k-mer frequency model.
+//!
+//! The paper (§4) sets k = 17 and "the maximum frequency of retained k-mers
+//! for each dataset was set according to the BELLA model", which uses the
+//! dataset's sequencing coverage `d`, error rate `e`, and `k`.
+//!
+//! The model (Guidi et al., *BELLA*, ACDA 2021): a k-mer drawn from a read
+//! is error-free with probability `p = (1-e)^k`. A single-copy genomic locus
+//! sequenced at depth `d` therefore yields a number of correct k-mer
+//! observations distributed ≈ `Binomial(d, p)` (Poisson-approximated for
+//! fractional d). K-mers observed *more* often than plausible for a
+//! single-copy locus are repeat-induced and discarded (they would generate
+//! quadratically many false candidate pairs); k-mers observed once are
+//! uninformative for pairing and also discarded.
+//!
+//! `upper_bound` is the smallest `m` such that the probability of a
+//! single-copy k-mer appearing more than `m` times is below `tail_epsilon`.
+
+use gnb_genome::rng::{ln_factorial, poisson_pmf};
+
+/// Reliable-k-mer interval calculator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BellaModel {
+    /// Sequencing depth d.
+    pub coverage: f64,
+    /// Per-base error rate e.
+    pub error_rate: f64,
+    /// k-mer length.
+    pub k: usize,
+    /// Tail mass allowed above the upper cutoff (BELLA uses ~1e-3 to 1e-4).
+    pub tail_epsilon: f64,
+}
+
+impl BellaModel {
+    /// Standard model with the BELLA default tail mass (0.001).
+    pub fn new(coverage: f64, error_rate: f64, k: usize) -> Self {
+        BellaModel {
+            coverage,
+            error_rate,
+            k,
+            tail_epsilon: 1e-3,
+        }
+    }
+
+    /// Probability a sampled k-mer is error-free: `(1 - e)^k`.
+    pub fn p_correct(&self) -> f64 {
+        (1.0 - self.error_rate).powi(self.k as i32)
+    }
+
+    /// Expected multiplicity of a single-copy genomic k-mer: `d · (1-e)^k`.
+    pub fn expected_multiplicity(&self) -> f64 {
+        self.coverage * self.p_correct()
+    }
+
+    /// Lower cutoff: k-mers must occur at least twice to witness a pair.
+    pub fn lower_bound(&self) -> u32 {
+        2
+    }
+
+    /// Upper cutoff: smallest `m` with `P[X > m] < tail_epsilon` where
+    /// `X ~ Poisson(d · (1-e)^k)`, floored at the lower bound.
+    pub fn upper_bound(&self) -> u32 {
+        let lambda = self.expected_multiplicity();
+        if lambda <= 0.0 {
+            return self.lower_bound();
+        }
+        let mut cdf = 0.0f64;
+        let mut m = 0u64;
+        // Walk the CDF; lambda is O(coverage) so this loop is short.
+        loop {
+            cdf += poisson_pmf(lambda, m);
+            if 1.0 - cdf < self.tail_epsilon {
+                return (m as u32).max(self.lower_bound());
+            }
+            m += 1;
+            if m > 100_000 {
+                // Numerical fallback; practically unreachable.
+                return (lambda + 10.0 * lambda.sqrt()) as u32;
+            }
+        }
+    }
+
+    /// The reliable interval `[lower_bound, upper_bound]`.
+    pub fn reliable_interval(&self) -> (u32, u32) {
+        (self.lower_bound(), self.upper_bound())
+    }
+
+    /// Probability that a single-copy genomic k-mer is *retained* by the
+    /// filter (its multiplicity falls within the reliable interval), under
+    /// the Poisson model. Used by the task-graph-level workload synthesiser
+    /// to predict candidate densities without string data.
+    pub fn p_retained(&self) -> f64 {
+        let lambda = self.expected_multiplicity();
+        let (lo, hi) = self.reliable_interval();
+        let mut p = 0.0;
+        for m in lo..=hi {
+            p += poisson_pmf(lambda, m as u64);
+        }
+        p
+    }
+}
+
+/// ln of the Poisson CDF complement is occasionally useful for diagnostics;
+/// kept here with the model. `P[X >= m]` for `X ~ Poisson(lambda)`.
+pub fn poisson_tail(lambda: f64, m: u64) -> f64 {
+    // Sum the PMF from m upward until terms vanish.
+    let mut total = 0.0;
+    let mut i = m;
+    loop {
+        let term = poisson_pmf(lambda, i);
+        total += term;
+        // PMF decays geometrically once i > lambda.
+        if (i as f64) > lambda && term < 1e-15 {
+            break;
+        }
+        i += 1;
+        if i > m + 10_000 {
+            break;
+        }
+    }
+    total.min(1.0)
+}
+
+/// Convenience: `ln C(n, k)` for the binomial variant of the model.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_correct_basics() {
+        let m = BellaModel::new(30.0, 0.15, 17);
+        let p = m.p_correct();
+        assert!((p - 0.85f64.powi(17)).abs() < 1e-12);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn expected_multiplicity_scales_with_coverage() {
+        let a = BellaModel::new(30.0, 0.15, 17).expected_multiplicity();
+        let b = BellaModel::new(100.0, 0.15, 17).expected_multiplicity();
+        assert!((b / a - 100.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_monotone_in_coverage() {
+        let u30 = BellaModel::new(30.0, 0.15, 17).upper_bound();
+        let u100 = BellaModel::new(100.0, 0.15, 17).upper_bound();
+        assert!(u100 > u30, "u100={u100} u30={u30}");
+    }
+
+    #[test]
+    fn upper_bound_sane_for_paper_workloads() {
+        // E. coli 30x, e=0.15: lambda ≈ 30 * 0.85^17 ≈ 1.9; cutoff small.
+        let u = BellaModel::new(30.0, 0.15, 17).upper_bound();
+        assert!((2..=12).contains(&u), "u={u}");
+        // E. coli 100x: lambda ≈ 6.3.
+        let u = BellaModel::new(100.0, 0.15, 17).upper_bound();
+        assert!((8..=25).contains(&u), "u={u}");
+        // Human CCS, e=0.01: lambda ≈ 4.1 * 0.99^17 ≈ 3.5.
+        let u = BellaModel::new(4.1, 0.01, 17).upper_bound();
+        assert!((5..=15).contains(&u), "u={u}");
+    }
+
+    #[test]
+    fn tail_mass_below_epsilon_at_cutoff() {
+        let m = BellaModel::new(100.0, 0.15, 17);
+        let u = m.upper_bound();
+        let lambda = m.expected_multiplicity();
+        assert!(poisson_tail(lambda, u as u64 + 1) < m.tail_epsilon * 1.01);
+        // And the cutoff is tight: one below would exceed epsilon (unless
+        // clamped to the lower bound).
+        if u > m.lower_bound() {
+            assert!(poisson_tail(lambda, u as u64) >= m.tail_epsilon * 0.99);
+        }
+    }
+
+    #[test]
+    fn degenerate_error_rate_one() {
+        let m = BellaModel::new(30.0, 1.0, 17);
+        assert_eq!(m.p_correct(), 0.0);
+        assert_eq!(m.upper_bound(), m.lower_bound());
+    }
+
+    #[test]
+    fn p_retained_in_unit_interval_and_sensible() {
+        let m = BellaModel::new(100.0, 0.15, 17);
+        let p = m.p_retained();
+        assert!(p > 0.5 && p < 1.0, "p_retained {p}");
+        // Very low coverage retains little.
+        let weak = BellaModel::new(1.0, 0.15, 17);
+        assert!(weak.p_retained() < 0.3);
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - (10f64).ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert!((ln_choose(10, 0) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Frequency histogram of a k-mer count table.
+//!
+//! DiBELLA computes this histogram between pipeline stages 1 and 2 to drive
+//! the BELLA filter (paper §3); it is also the first thing one inspects
+//! when validating a synthetic workload's coverage model (the histogram of
+//! a d× dataset should peak near `d·(1-e)^k`).
+
+use crate::count::KmerCounts;
+
+/// Histogram over k-mer multiplicities: `bins[c]` is the number of distinct
+/// k-mers that occur exactly `c` times (index 0 unused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds the histogram from a count table.
+    pub fn from_counts(counts: &KmerCounts) -> Self {
+        let mut bins: Vec<u64> = Vec::new();
+        for (_, c) in counts.iter() {
+            let c = c as usize;
+            if c >= bins.len() {
+                bins.resize(c + 1, 0);
+            }
+            bins[c] += 1;
+        }
+        Histogram { bins }
+    }
+
+    /// Number of distinct k-mers with multiplicity exactly `c`.
+    pub fn at(&self, c: usize) -> u64 {
+        self.bins.get(c).copied().unwrap_or(0)
+    }
+
+    /// Largest multiplicity observed.
+    pub fn max_multiplicity(&self) -> usize {
+        self.bins.len().saturating_sub(1)
+    }
+
+    /// Number of distinct k-mers in `[lo, hi]`.
+    pub fn distinct_in(&self, lo: u32, hi: u32) -> u64 {
+        let lo = lo as usize;
+        let hi = (hi as usize).min(self.max_multiplicity());
+        if lo > hi {
+            return 0;
+        }
+        self.bins[lo..=hi].iter().sum()
+    }
+
+    /// Total distinct k-mers.
+    pub fn distinct(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The multiplicity (≥ 2) with the most distinct k-mers — for a d×
+    /// dataset this "coverage peak" sits near `d·(1-e)^k`. Returns `None`
+    /// if no k-mer occurs more than once.
+    pub fn coverage_peak(&self) -> Option<usize> {
+        (2..self.bins.len()).max_by_key(|&c| self.bins[c]).filter(|&c| self.bins[c] > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_kmers_serial;
+    use gnb_genome::presets;
+    use gnb_genome::reads::{ReadOrigin, ReadSet, Strand};
+
+    #[test]
+    fn histogram_of_tiny_input() {
+        let mut rs = ReadSet::new();
+        rs.push(
+            b"AAAAA",
+            ReadOrigin {
+                start: 0,
+                ref_len: 5,
+                strand: Strand::Forward,
+            },
+        );
+        // AAAA occurs twice (pos 0 and 1); only one distinct k-mer.
+        let c = count_kmers_serial(&rs, 4);
+        let h = Histogram::from_counts(&c);
+        assert_eq!(h.at(2), 1);
+        assert_eq!(h.at(1), 0);
+        assert_eq!(h.distinct(), 1);
+        assert_eq!(h.max_multiplicity(), 2);
+        assert_eq!(h.distinct_in(1, 10), 1);
+        assert_eq!(h.distinct_in(3, 10), 0);
+        assert_eq!(h.distinct_in(5, 3), 0);
+    }
+
+    #[test]
+    fn coverage_peak_tracks_depth() {
+        // A 20x perfect-read dataset must peak near multiplicity 20.
+        let mut p = presets::ecoli_30x().scaled(1024);
+        p.coverage = 20.0;
+        p.errors = gnb_genome::ErrorModel::PERFECT;
+        p.repeat_fraction = 0.0;
+        let reads = p.generate(5);
+        let c = count_kmers_serial(&reads, 17);
+        let h = Histogram::from_counts(&c);
+        let peak = h.coverage_peak().expect("peak");
+        assert!(
+            (12..=28).contains(&peak),
+            "peak {peak} should be near coverage 20"
+        );
+    }
+
+    #[test]
+    fn errors_shift_mass_to_singletons() {
+        let mut p = presets::ecoli_30x().scaled(1024);
+        p.coverage = 20.0;
+        p.repeat_fraction = 0.0;
+        let perfect = {
+            let mut q = p.clone();
+            q.errors = gnb_genome::ErrorModel::PERFECT;
+            let reads = q.generate(6);
+            Histogram::from_counts(&count_kmers_serial(&reads, 17))
+        };
+        let noisy = {
+            let reads = p.generate(6); // CLR 15% errors
+            Histogram::from_counts(&count_kmers_serial(&reads, 17))
+        };
+        let frac = |h: &Histogram| h.at(1) as f64 / h.distinct() as f64;
+        assert!(
+            frac(&noisy) > frac(&perfect) + 0.3,
+            "erroneous reads must produce far more singleton k-mers: {} vs {}",
+            frac(&noisy),
+            frac(&perfect)
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimizer selection: sparse, window-guaranteed k-mer sampling.
+//!
+//! The paper extends "one seed per candidate overlap, simulating expected
+//! advances in seed-selection techniques" (§4). Minimizers (Roberts et al.
+//! 2004; the scheme minimap2 popularised for long reads) are the canonical
+//! such advance: from every window of `w` consecutive k-mers, keep the one
+//! with the smallest hash. Two sequences sharing an exact k-mer inside a
+//! shared window are guaranteed to share its minimizer, so candidate
+//! discovery keeps its sensitivity while the index shrinks by ~2/(w+1).
+
+use crate::kmer::{kmers_oriented, Kmer};
+use serde::{Deserialize, Serialize};
+
+/// One selected minimizer occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Minimizer {
+    /// The canonical k-mer.
+    pub kmer: Kmer,
+    /// Window start position of the k-mer within the read.
+    pub pos: u32,
+    /// `true` if the canonical form equals the as-read window.
+    pub fwd: bool,
+}
+
+/// Selects the minimizers of `seq` for k-mer length `k` and window `w`
+/// (in k-mers). Duplicate selections from overlapping windows are emitted
+/// once; ties within a window keep the leftmost occurrence.
+///
+/// # Panics
+/// Panics if `w == 0`.
+pub fn minimizers(seq: &[u8], k: usize, w: usize) -> Vec<Minimizer> {
+    assert!(w >= 1, "window must be at least 1 k-mer");
+    // Collect candidate k-mers with positions and orientations; runs of
+    // N break the sequence into independent segments automatically
+    // (positions are non-contiguous there, which the windowing honours).
+    let hits: Vec<(usize, Kmer, bool)> = kmers_oriented(seq, k).collect();
+    let mut out: Vec<Minimizer> = Vec::new();
+    if hits.is_empty() {
+        return out;
+    }
+    // Monotone deque over hash values (classic sliding-window minimum).
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut last_emitted: Option<usize> = None;
+    for i in 0..hits.len() {
+        let h = hits[i].1.hash64();
+        while let Some(&back) = deque.back() {
+            // Strictly greater pops: equal keys keep the earlier (leftmost).
+            if hits[back].1.hash64() > h {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        if i + 1 >= w {
+            // The window covers k-mer indices [i+1-w, i]; evict expired
+            // fronts before reading the minimum.
+            let lo = i + 1 - w;
+            while let Some(&front) = deque.front() {
+                if front < lo {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let m = *deque.front().expect("window nonempty");
+            if last_emitted != Some(m) {
+                last_emitted = Some(m);
+                let (pos, kmer, fwd) = hits[m];
+                out.push(Minimizer {
+                    kmer,
+                    pos: pos as u32,
+                    fwd,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Density of a minimizer selection: selected / total k-mers (expected
+/// ≈ 2/(w+1) for random sequence).
+pub fn density(seq: &[u8], k: usize, w: usize) -> f64 {
+    let total = kmers_oriented(seq, k).count();
+    if total == 0 {
+        return 0.0;
+    }
+    minimizers(seq, k, w).len() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnb_genome::revcomp;
+
+    fn rand_seq(salt: u64, n: usize) -> Vec<u8> {
+        (0..n as u64)
+            .map(|i| {
+                let mut z = (i ^ (salt << 32)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                b"ACGT"[((z ^ (z >> 31)) & 3) as usize]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_one_selects_everything() {
+        let s = rand_seq(1, 200);
+        let ms = minimizers(&s, 11, 1);
+        assert_eq!(ms.len(), 200 - 10);
+    }
+
+    #[test]
+    fn selection_is_sparse_with_expected_density() {
+        let s = rand_seq(2, 20_000);
+        let w = 10;
+        let d = density(&s, 15, w);
+        let expect = 2.0 / (w as f64 + 1.0);
+        assert!(
+            (d - expect).abs() < 0.05,
+            "density {d:.3} vs expected {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn every_window_is_covered() {
+        // Guarantee: every w consecutive k-mers contain a selected one.
+        let s = rand_seq(3, 2000);
+        let (k, w) = (13, 8);
+        let ms = minimizers(&s, k, w);
+        let positions: Vec<u32> = ms.iter().map(|m| m.pos).collect();
+        let total_kmers = s.len() - k + 1;
+        for start in 0..=(total_kmers - w) {
+            let lo = start as u32;
+            let hi = (start + w - 1) as u32;
+            assert!(
+                positions.iter().any(|&p| p >= lo && p <= hi),
+                "window at {start} has no minimizer"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_substring_shares_a_minimizer() {
+        // Two reads sharing a 400 bp exact region must share a minimizer
+        // inside it (the property candidate generation relies on).
+        let core = rand_seq(4, 400);
+        let mut a = rand_seq(5, 300);
+        a.extend_from_slice(&core);
+        let mut b = core.clone();
+        b.extend_from_slice(&rand_seq(6, 300));
+        let (k, w) = (15, 10);
+        let ma: std::collections::HashSet<Kmer> =
+            minimizers(&a, k, w).into_iter().map(|m| m.kmer).collect();
+        let mb: std::collections::HashSet<Kmer> =
+            minimizers(&b, k, w).into_iter().map(|m| m.kmer).collect();
+        assert!(
+            ma.intersection(&mb).count() >= 2,
+            "shared core must yield shared minimizers"
+        );
+    }
+
+    #[test]
+    fn strand_symmetric_selection() {
+        // Canonical hashing makes the selected k-mer set strand-invariant.
+        let s = rand_seq(7, 3000);
+        let rc = revcomp(&s);
+        let (k, w) = (15, 10);
+        let ma: std::collections::HashSet<Kmer> =
+            minimizers(&s, k, w).into_iter().map(|m| m.kmer).collect();
+        let mb: std::collections::HashSet<Kmer> =
+            minimizers(&rc, k, w).into_iter().map(|m| m.kmer).collect();
+        let shared = ma.intersection(&mb).count();
+        let frac = shared as f64 / ma.len().max(1) as f64;
+        assert!(frac > 0.9, "strand symmetry: {frac}");
+    }
+
+    #[test]
+    fn positions_in_bounds_and_sorted() {
+        let s = rand_seq(8, 1000);
+        let (k, w) = (17, 12);
+        let ms = minimizers(&s, k, w);
+        for m in &ms {
+            assert!((m.pos as usize) + k <= s.len());
+        }
+        for pair in ms.windows(2) {
+            assert!(pair[0].pos < pair[1].pos);
+        }
+    }
+
+    #[test]
+    fn n_runs_handled() {
+        let mut s = rand_seq(9, 200);
+        for i in 90..110 {
+            s[i] = b'N';
+        }
+        let ms = minimizers(&s, 11, 5);
+        assert!(!ms.is_empty());
+        for m in &ms {
+            let window = &s[m.pos as usize..m.pos as usize + 11];
+            assert!(!window.contains(&b'N'), "minimizer spans an N");
+        }
+    }
+
+    #[test]
+    fn short_and_empty_inputs() {
+        assert!(minimizers(b"", 11, 5).is_empty());
+        assert!(minimizers(b"ACGT", 11, 5).is_empty());
+        assert_eq!(density(b"", 11, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = minimizers(b"ACGTACGTACGT", 5, 0);
+    }
+}

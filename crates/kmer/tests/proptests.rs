@@ -1,0 +1,105 @@
+//! Property-based tests for k-mer packing, canonicalization, and counting.
+
+use gnb_genome::reads::{ReadOrigin, ReadSet, Strand};
+use gnb_genome::revcomp;
+use gnb_kmer::{count_kmers, count_kmers_serial, kmers_of, Kmer};
+use proptest::prelude::*;
+
+fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        min..max,
+    )
+}
+
+fn dna_with_n(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            9 => prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+            1 => Just(b'N')
+        ],
+        min..max,
+    )
+}
+
+fn read_set(seqs: Vec<Vec<u8>>) -> ReadSet {
+    let mut rs = ReadSet::new();
+    for s in seqs {
+        rs.push(
+            &s,
+            ReadOrigin {
+                start: 0,
+                ref_len: s.len(),
+                strand: Strand::Forward,
+            },
+        );
+    }
+    rs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Pack/unpack round-trips for every k.
+    #[test]
+    fn pack_round_trip(s in dna(32, 33), k in 1usize..=32) {
+        let km = Kmer::from_seq(&s, k).unwrap();
+        prop_assert_eq!(km.to_seq(k), s[..k].to_vec());
+    }
+
+    /// Packed revcomp equals string revcomp.
+    #[test]
+    fn packed_revcomp_matches(s in dna(32, 33), k in 1usize..=32) {
+        let km = Kmer::from_seq(&s, k).unwrap();
+        prop_assert_eq!(km.revcomp(k).to_seq(k), revcomp(&s[..k]));
+    }
+
+    /// Canonical form is idempotent and strand-invariant.
+    #[test]
+    fn canonical_invariants(s in dna(32, 33), k in 1usize..=32) {
+        let km = Kmer::from_seq(&s, k).unwrap();
+        let canon = km.canonical(k);
+        prop_assert_eq!(canon.canonical(k), canon);
+        prop_assert_eq!(km.revcomp(k).canonical(k), canon);
+        prop_assert!(canon <= km);
+    }
+
+    /// The iterator yields exactly the N-free windows, canonicalised.
+    #[test]
+    fn iterator_matches_naive(s in dna_with_n(0, 120), k in 1usize..=8) {
+        let got: Vec<(usize, Kmer)> = kmers_of(&s, k).collect();
+        let mut expect = Vec::new();
+        for pos in 0..s.len().saturating_sub(k - 1) {
+            if let Some(km) = Kmer::from_seq(&s[pos..], k) {
+                expect.push((pos, km.canonical(k)));
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Parallel counting agrees with serial counting.
+    #[test]
+    fn parallel_counting_agrees(seqs in proptest::collection::vec(dna_with_n(0, 80), 0..20), k in 1usize..=9) {
+        let rs = read_set(seqs);
+        let par = count_kmers(&rs, k);
+        let ser = count_kmers_serial(&rs, k);
+        prop_assert_eq!(par.distinct(), ser.distinct());
+        prop_assert_eq!(par.total(), ser.total());
+        for (km, c) in ser.iter() {
+            prop_assert_eq!(par.get(km), c);
+        }
+    }
+
+    /// A read and its reverse complement produce identical canonical
+    /// k-mer multisets.
+    #[test]
+    fn strand_invariant_counting(s in dna(10, 100), k in 1usize..=9) {
+        let rc = revcomp(&s);
+        let a = count_kmers_serial(&read_set(vec![s]), k);
+        let b = count_kmers_serial(&read_set(vec![rc]), k);
+        prop_assert_eq!(a.total(), b.total());
+        for (km, c) in a.iter() {
+            prop_assert_eq!(b.get(km), c);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Overlap-graph post-processing: the first steps any assembler takes with
+//! the pipeline's output.
+//!
+//! The paper positions its code as reusable "in genomics pipelines" —
+//! overlap detection feeds *de novo* assembly, whose string-graph
+//! construction (Myers 2005) starts with exactly these steps:
+//!
+//! 1. [`remove_contained`] — reads whose alignment is spanned end-to-end
+//!    by another read carry no assembly information;
+//! 2. [`transitive_reduction`] — if A→B, B→C, and A→C all overlap
+//!    consistently, the A→C edge is implied and removable;
+//! 3. [`unitigs`] — maximal unambiguous (in-degree ≤ 1, out-degree ≤ 1)
+//!    paths, the contigs-before-repeat-resolution.
+
+use gnb_align::{AlignmentRecord, OverlapClass};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A directed overlap edge in suffix→prefix orientation: `from`'s suffix
+/// matches `to`'s prefix, advancing by `advance` bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapEdge {
+    /// Source read.
+    pub from: u32,
+    /// Destination read.
+    pub to: u32,
+    /// Bases of `from` not covered by the overlap (the walk step).
+    pub advance: u32,
+    /// Alignment score of the supporting overlap.
+    pub score: i32,
+}
+
+/// The directed overlap graph built from accepted dovetail alignments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverlapGraph {
+    /// Out-edges per read.
+    pub edges: HashMap<u32, Vec<OverlapEdge>>,
+    /// Reads marked contained (excluded from the graph).
+    pub contained: HashSet<u32>,
+}
+
+impl OverlapGraph {
+    /// Total directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|v| v.len()).sum()
+    }
+
+    /// Out-degree of `read`.
+    pub fn out_degree(&self, read: u32) -> usize {
+        self.edges.get(&read).map_or(0, |v| v.len())
+    }
+}
+
+/// Identifies contained reads: any read whose accepted alignment is
+/// classified as contained in its partner.
+pub fn remove_contained(records: &[&AlignmentRecord]) -> HashSet<u32> {
+    let mut contained = HashSet::new();
+    for rec in records {
+        match rec.class {
+            OverlapClass::ContainsB => {
+                contained.insert(rec.b);
+            }
+            OverlapClass::ContainedInB => {
+                contained.insert(rec.a);
+            }
+            _ => {}
+        }
+    }
+    contained
+}
+
+/// Builds the suffix→prefix overlap graph from accepted records,
+/// excluding contained reads.
+///
+/// Only same-strand dovetails are used (opposite-strand edges require the
+/// bidirected string-graph formalism; restricting to one strand keeps this
+/// a faithful *first step*, not a full assembler).
+pub fn build_graph(records: &[&AlignmentRecord], read_lengths: &[usize]) -> OverlapGraph {
+    let contained = remove_contained(records);
+    let mut g = OverlapGraph {
+        edges: HashMap::new(),
+        contained: contained.clone(),
+    };
+    for rec in records {
+        if !rec.same_strand || contained.contains(&rec.a) || contained.contains(&rec.b) {
+            continue;
+        }
+        match rec.class {
+            // Suffix of a matches prefix of b: a -> b.
+            OverlapClass::DovetailAB => {
+                let advance = rec.a_begin; // unaligned prefix of a
+                let _ = read_lengths;
+                g.edges.entry(rec.a).or_default().push(OverlapEdge {
+                    from: rec.a,
+                    to: rec.b,
+                    advance,
+                    score: rec.score,
+                });
+            }
+            // Suffix of b matches prefix of a: b -> a.
+            OverlapClass::DovetailBA => {
+                let advance = rec.b_begin;
+                g.edges.entry(rec.b).or_default().push(OverlapEdge {
+                    from: rec.b,
+                    to: rec.a,
+                    advance,
+                    score: rec.score,
+                });
+            }
+            _ => {}
+        }
+    }
+    // Deterministic edge order: by destination.
+    for v in g.edges.values_mut() {
+        v.sort_by_key(|e| (e.advance, e.to));
+        v.dedup_by_key(|e| e.to);
+    }
+    g
+}
+
+/// Myers-style transitive reduction: removes edges `A→C` when some `A→B`
+/// and `B→C` exist with approximately consistent advances
+/// (`|adv(A→B) + adv(B→C) − adv(A→C)| ≤ slop`). Returns removed count.
+pub fn transitive_reduction(g: &mut OverlapGraph, slop: u32) -> usize {
+    let mut to_remove: Vec<(u32, u32)> = Vec::new();
+    for (&a, a_edges) in &g.edges {
+        for ac in a_edges {
+            for ab in a_edges {
+                if ab.to == ac.to {
+                    continue;
+                }
+                if let Some(b_edges) = g.edges.get(&ab.to) {
+                    for bc in b_edges {
+                        if bc.to == ac.to {
+                            let via = ab.advance as i64 + bc.advance as i64;
+                            if (via - ac.advance as i64).unsigned_abs() as u32 <= slop {
+                                to_remove.push((a, ac.to));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut removed = 0;
+    for (a, c) in to_remove {
+        if let Some(v) = g.edges.get_mut(&a) {
+            let before = v.len();
+            v.retain(|e| e.to != c);
+            removed += before - v.len();
+        }
+    }
+    removed
+}
+
+/// A maximal unambiguous path through the reduced graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unitig {
+    /// Reads along the path, in order.
+    pub reads: Vec<u32>,
+    /// Approximate span in bases: sum of advances plus the last read.
+    pub approx_len: usize,
+}
+
+/// Extracts unitigs: maximal chains where each interior node has exactly
+/// one incoming and one outgoing used edge. Singleton (isolated,
+/// non-contained) reads form one-read unitigs.
+pub fn unitigs(g: &OverlapGraph, read_lengths: &[usize]) -> Vec<Unitig> {
+    // In-degree over the (possibly reduced) graph.
+    let mut indeg: HashMap<u32, usize> = HashMap::new();
+    let mut nodes: HashSet<u32> = HashSet::new();
+    for (&a, edges) in &g.edges {
+        nodes.insert(a);
+        for e in edges {
+            nodes.insert(e.to);
+            *indeg.entry(e.to).or_default() += 1;
+        }
+    }
+    // Also include isolated reads (no edges, not contained).
+    for r in 0..read_lengths.len() as u32 {
+        if !g.contained.contains(&r) {
+            nodes.insert(r);
+        }
+    }
+
+    let next_of = |r: u32| -> Option<&OverlapEdge> {
+        match g.edges.get(&r) {
+            Some(v) if v.len() == 1 => Some(&v[0]),
+            _ => None,
+        }
+    };
+    let unambiguous_in = |r: u32| indeg.get(&r).copied().unwrap_or(0) == 1;
+
+    let mut visited: HashSet<u32> = HashSet::new();
+    let mut out = Vec::new();
+    let mut ordered: Vec<u32> = nodes.iter().copied().collect();
+    ordered.sort_unstable();
+    for &start in &ordered {
+        if visited.contains(&start) {
+            continue;
+        }
+        // Start only at path heads: nodes that are not the unambiguous
+        // continuation of something else.
+        let is_head = !unambiguous_in(start)
+            || !g
+                .edges
+                .iter()
+                .any(|(_, es)| es.len() == 1 && es[0].to == start);
+        if !is_head {
+            continue;
+        }
+        let mut reads = vec![start];
+        let mut span = 0usize;
+        visited.insert(start);
+        let mut cur = start;
+        while let Some(e) = next_of(cur) {
+            if visited.contains(&e.to) || !unambiguous_in(e.to) {
+                break;
+            }
+            span += e.advance as usize;
+            cur = e.to;
+            visited.insert(cur);
+            reads.push(cur);
+        }
+        span += read_lengths.get(cur as usize).copied().unwrap_or(0);
+        out.push(Unitig {
+            reads,
+            approx_len: span,
+        });
+    }
+    // Anything not visited (cycle members, ambiguous interiors) becomes a
+    // singleton so every read is accounted for exactly once.
+    for &r in &ordered {
+        if !visited.contains(&r) {
+            out.push(Unitig {
+                reads: vec![r],
+                approx_len: read_lengths.get(r as usize).copied().unwrap_or(0),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(a: u32, b: u32, class: OverlapClass, a_begin: u32, b_begin: u32) -> AlignmentRecord {
+        AlignmentRecord {
+            a,
+            b,
+            score: 500,
+            a_begin,
+            a_end: 1000,
+            b_begin,
+            b_end: 1000,
+            same_strand: true,
+            class,
+            cells: 0,
+            accepted: true,
+        }
+    }
+
+    #[test]
+    fn containment_detection() {
+        let r1 = rec(0, 1, OverlapClass::ContainsB, 0, 0);
+        let r2 = rec(2, 3, OverlapClass::ContainedInB, 0, 0);
+        let set = remove_contained(&[&r1, &r2]);
+        assert!(set.contains(&1));
+        assert!(set.contains(&2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn chain_builds_and_reduces() {
+        // 0 -> 1 -> 2 with a transitive 0 -> 2.
+        let e01 = rec(0, 1, OverlapClass::DovetailAB, 400, 0);
+        let e12 = rec(1, 2, OverlapClass::DovetailAB, 400, 0);
+        let e02 = rec(0, 2, OverlapClass::DovetailAB, 800, 0);
+        let lengths = vec![1000usize; 3];
+        let mut g = build_graph(&[&e01, &e12, &e02], &lengths);
+        assert_eq!(g.edge_count(), 3);
+        let removed = transitive_reduction(&mut g, 50);
+        assert_eq!(removed, 1);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.edges[&0][0].to, 1);
+    }
+
+    #[test]
+    fn inconsistent_advance_not_reduced() {
+        let e01 = rec(0, 1, OverlapClass::DovetailAB, 400, 0);
+        let e12 = rec(1, 2, OverlapClass::DovetailAB, 400, 0);
+        // 0->2 with advance wildly different from 400+400.
+        let e02 = rec(0, 2, OverlapClass::DovetailAB, 100, 0);
+        let lengths = vec![1000usize; 3];
+        let mut g = build_graph(&[&e01, &e12, &e02], &lengths);
+        assert_eq!(transitive_reduction(&mut g, 50), 0);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn unitig_chain() {
+        let e01 = rec(0, 1, OverlapClass::DovetailAB, 400, 0);
+        let e12 = rec(1, 2, OverlapClass::DovetailAB, 400, 0);
+        let e23 = rec(2, 3, OverlapClass::DovetailAB, 400, 0);
+        let lengths = vec![1000usize; 4];
+        let g = build_graph(&[&e01, &e12, &e23], &lengths);
+        let us = unitigs(&g, &lengths);
+        assert_eq!(us.len(), 1);
+        assert_eq!(us[0].reads, vec![0, 1, 2, 3]);
+        assert_eq!(us[0].approx_len, 3 * 400 + 1000);
+    }
+
+    #[test]
+    fn branch_splits_unitigs() {
+        // 0 -> 1 and 0 -> 2: ambiguous out-degree stops the chain at 0.
+        let e01 = rec(0, 1, OverlapClass::DovetailAB, 400, 0);
+        let e02 = rec(0, 2, OverlapClass::DovetailAB, 500, 0);
+        let lengths = vec![1000usize; 3];
+        let g = build_graph(&[&e01, &e02], &lengths);
+        let us = unitigs(&g, &lengths);
+        // Three unitigs: {0}, {1}, {2}.
+        assert_eq!(us.len(), 3);
+        assert!(us.iter().all(|u| u.reads.len() == 1));
+    }
+
+    #[test]
+    fn contained_reads_excluded_from_graph() {
+        let cont = rec(0, 1, OverlapClass::ContainsB, 0, 0);
+        let dove = rec(1, 2, OverlapClass::DovetailAB, 400, 0); // 1 is contained
+        let lengths = vec![1000usize; 3];
+        let g = build_graph(&[&cont, &dove], &lengths);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.contained.contains(&1));
+        // Unitigs: contained read 1 excluded; 0 and 2 singletons.
+        let us = unitigs(&g, &lengths);
+        let all: Vec<u32> = us.iter().flat_map(|u| u.reads.clone()).collect();
+        assert!(all.contains(&0) && all.contains(&2) && !all.contains(&1));
+    }
+
+    #[test]
+    fn dovetail_ba_direction() {
+        // Suffix of b matches prefix of a: edge b -> a.
+        let e = rec(5, 7, OverlapClass::DovetailBA, 0, 300);
+        let lengths = vec![1000usize; 8];
+        let g = build_graph(&[&e], &lengths);
+        assert_eq!(g.out_degree(7), 1);
+        assert_eq!(g.edges[&7][0].to, 5);
+        assert_eq!(g.edges[&7][0].advance, 300);
+    }
+
+    #[test]
+    fn opposite_strand_edges_skipped() {
+        let mut e = rec(0, 1, OverlapClass::DovetailAB, 400, 0);
+        e.same_strand = false;
+        let lengths = vec![1000usize; 2];
+        let g = build_graph(&[&e], &lengths);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn every_read_in_exactly_one_unitig() {
+        let e01 = rec(0, 1, OverlapClass::DovetailAB, 400, 0);
+        let e12 = rec(1, 2, OverlapClass::DovetailAB, 400, 0);
+        let e32 = rec(3, 2, OverlapClass::DovetailAB, 500, 0); // 2 has indeg 2
+        let lengths = vec![1000usize; 5]; // read 4 isolated
+        let g = build_graph(&[&e01, &e12, &e32], &lengths);
+        let us = unitigs(&g, &lengths);
+        let mut seen: Vec<u32> = us.iter().flat_map(|u| u.reads.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Exchange planning: who must send which read bytes to whom.
+//!
+//! Both coordination codes move the same payload — each rank needs every
+//! remote read referenced by its tasks, exactly once ("parallel processors
+//! retrieve remote reads no more than once", §3.2). The plan precomputes,
+//! per rank, the distinct remote reads needed and the resulting send/recv
+//! byte loads. The BSP code turns the plan into `alltoallv` counts; the
+//! async code turns it into an RPC request list; Fig. 6 plots its
+//! max−min received-byte spread.
+
+use crate::partition::Partition;
+use crate::redistribute::RankWork;
+use serde::{Deserialize, Serialize};
+
+/// Byte-level exchange plan across all ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangePlan {
+    /// For each rank: distinct remote reads it must fetch (sorted).
+    pub needed: Vec<Vec<u32>>,
+    /// Bytes each rank will receive (sum of its needed reads' lengths).
+    pub recv_bytes: Vec<u64>,
+    /// Bytes each rank will send (its reads requested by others).
+    pub send_bytes: Vec<u64>,
+    /// Per-rank pairwise matrix row: `pair_bytes[p][q]` = bytes rank `p`
+    /// receives from rank `q`.
+    pub pair_bytes: Vec<Vec<u64>>,
+}
+
+impl ExchangePlan {
+    /// Builds the plan from every rank's [`RankWork`].
+    ///
+    /// # Panics
+    /// Panics if `works.len() != partition.nranks()` or works are not in
+    /// rank order.
+    pub fn build(works: &[RankWork], partition: &Partition, read_lengths: &[usize]) -> Self {
+        let nranks = partition.nranks();
+        assert_eq!(works.len(), nranks, "one RankWork per rank");
+        let mut needed = Vec::with_capacity(nranks);
+        let mut recv_bytes = vec![0u64; nranks];
+        let mut send_bytes = vec![0u64; nranks];
+        let mut pair_bytes = vec![vec![0u64; nranks]; nranks];
+        for (p, w) in works.iter().enumerate() {
+            assert_eq!(w.rank, p, "works must be in rank order");
+            let reads: Vec<u32> = w.remote_groups.iter().map(|&(r, _)| r).collect();
+            for &r in &reads {
+                let owner = partition.owner[r as usize] as usize;
+                debug_assert_ne!(owner, p, "remote read owned locally");
+                let len = read_lengths[r as usize] as u64;
+                recv_bytes[p] += len;
+                send_bytes[owner] += len;
+                pair_bytes[p][owner] += len;
+            }
+            needed.push(reads);
+        }
+        ExchangePlan {
+            needed,
+            recv_bytes,
+            send_bytes,
+            pair_bytes,
+        }
+    }
+
+    /// Total bytes crossing rank boundaries.
+    pub fn total_bytes(&self) -> u64 {
+        self.recv_bytes.iter().sum()
+    }
+
+    /// Maximum bytes received by any rank.
+    pub fn max_recv(&self) -> u64 {
+        self.recv_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum bytes received by any rank.
+    pub fn min_recv(&self) -> u64 {
+        self.recv_bytes.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The paper's Fig. 6 quantity: max − min received bytes per rank.
+    pub fn recv_spread(&self) -> u64 {
+        self.max_recv() - self.min_recv()
+    }
+
+    /// Communication volume imbalance: max recv / mean recv.
+    pub fn recv_imbalance(&self) -> f64 {
+        let mean = self.total_bytes() as f64 / self.recv_bytes.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_recv() as f64 / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redistribute::TaskAssignment;
+    use gnb_align::Candidate;
+
+    fn cand(a: u32, b: u32) -> Candidate {
+        Candidate {
+            a,
+            b,
+            a_pos: 0,
+            b_pos: 0,
+            same_strand: true,
+        }
+    }
+
+    fn setup(tasks: &[Candidate], lens: &[usize], nranks: usize) -> (ExchangePlan, Partition) {
+        let p = Partition::blind(lens, nranks);
+        let asg = TaskAssignment::build(tasks, &p);
+        asg.check_invariant(&p).unwrap();
+        let works: Vec<RankWork> = (0..nranks)
+            .map(|r| RankWork::split(r, &asg.per_rank[r], &p))
+            .collect();
+        (ExchangePlan::build(&works, &p, lens), p)
+    }
+
+    #[test]
+    fn send_equals_recv_globally() {
+        let lens = vec![100, 150, 200, 250, 300, 350, 400, 450];
+        let tasks: Vec<Candidate> = (0..8u32)
+            .flat_map(|a| ((a + 1)..8).map(move |b| cand(a, b)))
+            .collect();
+        let (plan, _) = setup(&tasks, &lens, 4);
+        assert_eq!(
+            plan.send_bytes.iter().sum::<u64>(),
+            plan.recv_bytes.iter().sum::<u64>()
+        );
+        // Pairwise matrix is consistent with the row sums.
+        for p in 0..4 {
+            assert_eq!(plan.pair_bytes[p].iter().sum::<u64>(), plan.recv_bytes[p]);
+        }
+    }
+
+    #[test]
+    fn local_only_tasks_need_no_exchange() {
+        let lens = vec![100; 8];
+        // Pairs entirely within each 2-read block.
+        let tasks = vec![cand(0, 1), cand(2, 3), cand(4, 5), cand(6, 7)];
+        let (plan, _) = setup(&tasks, &lens, 4);
+        assert_eq!(plan.total_bytes(), 0);
+        assert_eq!(plan.recv_spread(), 0);
+    }
+
+    #[test]
+    fn remote_read_counted_once_per_requester() {
+        let lens = vec![100; 8];
+        // Rank 0 (reads 0,1) needs read 7 for two tasks: fetched once.
+        let tasks = vec![cand(0, 7), cand(1, 7)];
+        let p = Partition::blind(&lens, 4);
+        let asg = TaskAssignment {
+            per_rank: vec![tasks.clone(), vec![], vec![], vec![]],
+        };
+        asg.check_invariant(&p).unwrap();
+        let works: Vec<RankWork> = (0..4)
+            .map(|r| RankWork::split(r, &asg.per_rank[r], &p))
+            .collect();
+        let plan = ExchangePlan::build(&works, &p, &lens);
+        assert_eq!(plan.recv_bytes[0], 100);
+        assert_eq!(plan.send_bytes[3], 100);
+        assert_eq!(plan.needed[0], vec![7]);
+    }
+
+    #[test]
+    fn spread_reflects_length_skew() {
+        // One giant read on the last rank that everyone needs.
+        let mut lens = vec![100usize; 8];
+        lens[7] = 100_000;
+        let tasks: Vec<Candidate> = (0..7u32).map(|a| cand(a, 7)).collect();
+        let (plan, _) = setup(&tasks, &lens, 4);
+        assert!(plan.recv_spread() > 0);
+        assert!(plan.recv_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let (plan, _) = setup(&[], &[100; 8], 4);
+        assert_eq!(plan.total_bytes(), 0);
+        assert!((plan.recv_imbalance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! The task graph: candidates viewed as a sparse unstructured graph.
+//!
+//! The paper frames candidate generation as revealing "large sparse
+//! unstructured graphs" over the reads (§2). This module provides the
+//! whole-graph view and the degree/locality statistics used by the
+//! experiment harness (tasks per read, remote fraction under a partition).
+
+use crate::partition::Partition;
+use gnb_align::Candidate;
+
+/// The global task graph: all candidates plus the read universe size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    /// All candidate tasks (deduplicated, `a < b`, sorted).
+    pub tasks: Vec<Candidate>,
+    /// Number of reads in the dataset.
+    pub reads: usize,
+}
+
+impl TaskGraph {
+    /// Wraps a candidate set.
+    pub fn new(tasks: Vec<Candidate>, reads: usize) -> Self {
+        TaskGraph { tasks, reads }
+    }
+
+    /// Number of tasks (graph edges).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Average tasks per read (the Table 1 "Tasks / Reads" density).
+    pub fn tasks_per_read(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.tasks.len() as f64 / self.reads as f64
+        }
+    }
+
+    /// Degree (task count) of every read.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.reads];
+        for t in &self.tasks {
+            deg[t.a as usize] += 1;
+            deg[t.b as usize] += 1;
+        }
+        deg
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> u32 {
+        self.degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of tasks whose two reads live on different ranks — the
+    /// communication-inducing fraction under `partition`.
+    pub fn remote_fraction(&self, partition: &Partition) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        let remote = self
+            .tasks
+            .iter()
+            .filter(|t| partition.owner[t.a as usize] != partition.owner[t.b as usize])
+            .count();
+        remote as f64 / self.tasks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(a: u32, b: u32) -> Candidate {
+        Candidate {
+            a,
+            b,
+            a_pos: 0,
+            b_pos: 0,
+            same_strand: true,
+        }
+    }
+
+    #[test]
+    fn degrees_and_density() {
+        let g = TaskGraph::new(vec![cand(0, 1), cand(0, 2), cand(1, 2)], 4);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.degrees(), vec![2, 2, 2, 0]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.tasks_per_read() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_fraction_under_partition() {
+        let p = Partition::blind(&[100; 4], 2); // reads 0,1 | 2,3
+        let g = TaskGraph::new(vec![cand(0, 1), cand(0, 2), cand(2, 3)], 4);
+        assert!((g.remote_fraction(&p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new(vec![], 0);
+        assert!(g.is_empty());
+        assert_eq!(g.tasks_per_read(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        let p = Partition::blind(&[], 2);
+        assert_eq!(g.remote_fraction(&p), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Task redistribution under the ownership invariant.
+//!
+//! Paper §3: "The task redistribution preserves the invariant that each
+//! task is assigned to the owner of one or both of the required reads, such
+//! that the (number of) tasks are roughly balanced across the processors.
+//! If an assignee owns one but not both reads, it must retrieve the
+//! remotely owned read in order to complete the task."
+//!
+//! The assignment is greedy: each task goes to whichever of its two
+//! endpoint owners currently holds fewer tasks (ties to the owner of `a`).
+//! This is DiBELLA's "simple heuristic" that balances task *counts* but not
+//! task *costs* — deliberately so, because variable alignment cost is the
+//! load-imbalance phenomenon the paper studies (§4.2).
+
+use crate::partition::Partition;
+use gnb_align::Candidate;
+use serde::{Deserialize, Serialize};
+
+/// The per-rank task assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// Tasks assigned to each rank.
+    pub per_rank: Vec<Vec<Candidate>>,
+}
+
+impl TaskAssignment {
+    /// Greedy least-loaded redistribution of `tasks` under `partition`.
+    ///
+    /// Tasks are visited in deterministic hashed order: candidate lists
+    /// arrive sorted by `(a, b)` and owners are monotone in read id, so a
+    /// sorted sweep would systematically overfill low ranks early and
+    /// starve high ranks; a hashed visiting order makes the least-loaded
+    /// heuristic balance counts tightly.
+    pub fn build(tasks: &[Candidate], partition: &Partition) -> TaskAssignment {
+        let nranks = partition.nranks();
+        let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        });
+        let mut per_rank: Vec<Vec<Candidate>> = vec![Vec::new(); nranks];
+        for &i in &order {
+            let t = tasks[i as usize];
+            let oa = partition.owner[t.a as usize] as usize;
+            let ob = partition.owner[t.b as usize] as usize;
+            let p = if per_rank[ob].len() < per_rank[oa].len() {
+                ob
+            } else {
+                oa
+            };
+            per_rank[p].push(t);
+        }
+        TaskAssignment { per_rank }
+    }
+
+    /// Total number of assigned tasks.
+    pub fn total_tasks(&self) -> usize {
+        self.per_rank.iter().map(|v| v.len()).sum()
+    }
+
+    /// Task-count imbalance: max/mean (1.0 = perfect).
+    pub fn count_imbalance(&self) -> f64 {
+        let max = self.per_rank.iter().map(|v| v.len()).max().unwrap_or(0) as f64;
+        let mean = self.total_tasks() as f64 / self.per_rank.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Checks the ownership invariant; returns the first violation.
+    pub fn check_invariant(&self, partition: &Partition) -> Result<(), (usize, Candidate)> {
+        for (p, tasks) in self.per_rank.iter().enumerate() {
+            for &t in tasks {
+                let oa = partition.owner[t.a as usize] as usize;
+                let ob = partition.owner[t.b as usize] as usize;
+                if p != oa && p != ob {
+                    return Err((p, t));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One rank's work, split by read locality: the inputs to both coordination
+/// algorithms in `gnb-core`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankWork {
+    /// The rank this work belongs to.
+    pub rank: usize,
+    /// Tasks whose reads are both owned locally.
+    pub local: Vec<Candidate>,
+    /// Remote-read groups, sorted by remote read id: `(remote_read, tasks)`.
+    /// Paper §3.2: "Each task involving a remote read b and local read a is
+    /// indexed under b."
+    pub remote_groups: Vec<(u32, Vec<Candidate>)>,
+}
+
+impl RankWork {
+    /// Splits a rank's tasks into local tasks and remote-read groups.
+    pub fn split(rank: usize, tasks: &[Candidate], partition: &Partition) -> RankWork {
+        let mut local = Vec::new();
+        let mut grouped: std::collections::BTreeMap<u32, Vec<Candidate>> =
+            std::collections::BTreeMap::new();
+        for &t in tasks {
+            let oa = partition.owner[t.a as usize] as usize;
+            let ob = partition.owner[t.b as usize] as usize;
+            debug_assert!(rank == oa || rank == ob, "ownership invariant");
+            if oa == rank && ob == rank {
+                local.push(t);
+            } else if oa == rank {
+                grouped.entry(t.b).or_default().push(t);
+            } else {
+                grouped.entry(t.a).or_default().push(t);
+            }
+        }
+        RankWork {
+            rank,
+            local,
+            remote_groups: grouped.into_iter().collect(),
+        }
+    }
+
+    /// Number of distinct remote reads this rank must fetch.
+    pub fn remote_reads(&self) -> usize {
+        self.remote_groups.len()
+    }
+
+    /// Total task count (local + remote).
+    pub fn total_tasks(&self) -> usize {
+        self.local.len() + self.remote_groups.iter().map(|(_, v)| v.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(a: u32, b: u32) -> Candidate {
+        Candidate {
+            a,
+            b,
+            a_pos: 0,
+            b_pos: 0,
+            same_strand: true,
+        }
+    }
+
+    /// 8 reads of 100 bytes over 4 ranks: reads 2r, 2r+1 on rank r.
+    fn fixture() -> Partition {
+        Partition::blind(&[100; 8], 4)
+    }
+
+    #[test]
+    fn invariant_holds() {
+        let p = fixture();
+        let tasks: Vec<Candidate> = (0..8u32)
+            .flat_map(|a| ((a + 1)..8).map(move |b| cand(a, b)))
+            .collect();
+        let asg = TaskAssignment::build(&tasks, &p);
+        asg.check_invariant(&p).unwrap();
+        assert_eq!(asg.total_tasks(), tasks.len());
+    }
+
+    #[test]
+    fn counts_roughly_balanced() {
+        let p = fixture();
+        // All tasks touch read 0 — the greedy balancer must spread them
+        // between rank 0 and the other endpoint owners.
+        let tasks: Vec<Candidate> = (1..8u32).map(|b| cand(0, b)).collect();
+        let asg = TaskAssignment::build(&tasks, &p);
+        asg.check_invariant(&p).unwrap();
+        let max = asg.per_rank.iter().map(|v| v.len()).max().unwrap();
+        assert!(max <= 3, "greedy should spread hub tasks, max={max}");
+    }
+
+    #[test]
+    fn split_separates_local_and_remote() {
+        let p = fixture();
+        // Rank 0 owns reads 0 and 1.
+        let tasks = vec![cand(0, 1), cand(0, 2), cand(1, 5)];
+        let work = RankWork::split(0, &tasks, &p);
+        assert_eq!(work.local, vec![cand(0, 1)]);
+        assert_eq!(work.remote_groups.len(), 2);
+        assert_eq!(work.remote_groups[0].0, 2);
+        assert_eq!(work.remote_groups[1].0, 5);
+        assert_eq!(work.total_tasks(), 3);
+        assert_eq!(work.remote_reads(), 2);
+    }
+
+    #[test]
+    fn groups_collect_all_tasks_of_a_remote_read() {
+        let p = fixture();
+        // Rank 0; read 7 is remote and needed by two tasks.
+        let tasks = vec![cand(0, 7), cand(1, 7), cand(0, 3)];
+        let work = RankWork::split(0, &tasks, &p);
+        let g7 = work
+            .remote_groups
+            .iter()
+            .find(|(r, _)| *r == 7)
+            .expect("group for read 7");
+        assert_eq!(g7.1.len(), 2);
+    }
+
+    #[test]
+    fn groups_sorted_by_remote_read() {
+        let p = fixture();
+        let tasks = vec![cand(0, 7), cand(0, 3), cand(0, 5), cand(1, 2)];
+        let work = RankWork::split(0, &tasks, &p);
+        let keys: Vec<u32> = work.remote_groups.iter().map(|(r, _)| *r).collect();
+        assert_eq!(keys, vec![2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn empty_tasks() {
+        let p = fixture();
+        let asg = TaskAssignment::build(&[], &p);
+        assert_eq!(asg.total_tasks(), 0);
+        assert!((asg.count_imbalance() - 1.0).abs() < 1e-12);
+        let work = RankWork::split(0, &[], &p);
+        assert_eq!(work.total_tasks(), 0);
+    }
+
+    #[test]
+    fn violation_detected() {
+        let p = fixture();
+        // Hand-build a bad assignment: rank 3 gets a task it owns nothing of.
+        let asg = TaskAssignment {
+            per_rank: vec![vec![], vec![], vec![], vec![cand(0, 1)]],
+        };
+        assert!(asg.check_invariant(&p).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Aggregate cost model for irregular all-to-all collectives.
+//!
+//! The BSP code exchanges reads with `MPI_Alltoall`/`MPI_Alltoallv`
+//! (paper §3.1). Simulating 32 768² point-to-point messages per superstep
+//! is wasteful and adds nothing — what matters for the paper's results is
+//! the aggregate cost law, which for a pairwise-scheduled personalised
+//! exchange on a dragonfly is
+//!
+//! ```text
+//! T = α · ⌈log₂ P⌉            (setup / synchronisation of the schedule)
+//!   + (P − 1) · o             (per-peer message handling, pipelined)
+//!   + max(S_max, R_max) / β    (bandwidth term, bounded by the most
+//!                              loaded rank's bytes through its NIC share)
+//! ```
+//!
+//! The bandwidth term uses each rank's *share* of its node NIC
+//! ([`crate::net::NetParams::per_rank_bw`]) — the KNL-specific throttle the
+//! paper's memory/bandwidth discussion revolves around — and the maximum
+//! per-rank load, which is where the Fig. 6 communication imbalance enters
+//! the Fig. 7 latency curve.
+
+use crate::net::NetParams;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the collective cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollParams {
+    /// Wire latency per schedule stage, ns.
+    pub alpha_ns: u64,
+    /// Per-active-peer software overhead (post/pack/progress one
+    /// irecv/isend pair) on a 1.4 GHz KNL core, ns.
+    pub per_peer_ns: u64,
+    /// Raw per-rank bandwidth share (node NIC / ranks-per-node, tapered),
+    /// bytes/sec.
+    pub per_rank_bw: f64,
+    /// Asymptotic protocol efficiency for large per-peer messages (0–1].
+    pub eff_max: f64,
+    /// Per-peer message size at which efficiency reaches half of
+    /// `eff_max`, bytes. Small per-peer slices (an irregular exchange
+    /// spread over thousands of peers) ride the eager/small-message path
+    /// and amortise nothing; large slices stream at near wire rate. This
+    /// single mechanism is what lets the same model show the paper's high
+    /// BSP communication share on E. coli 100× at 8K cores (≈5 kb/peer)
+    /// and the far better exchanges of Human CCS at small node counts
+    /// (≈100 kb–3 MB/peer).
+    pub eff_halfsize_bytes: f64,
+    /// Per-rank effective bandwidth of a *single-node* exchange
+    /// (shared-memory MPI: pack + copy through DDR shared by all ranks),
+    /// bytes/sec.
+    pub shm_per_rank_bw: f64,
+    /// Intra-node latency per schedule stage, ns.
+    pub intra_alpha_ns: u64,
+}
+
+impl CollParams {
+    /// Derives collective parameters from the network model.
+    pub fn from_net(net: &NetParams) -> CollParams {
+        CollParams {
+            alpha_ns: net.alpha_ns,
+            per_peer_ns: 2_000,
+            per_rank_bw: net.per_rank_bw(),
+            eff_max: 0.9,
+            eff_halfsize_bytes: 30_000.0,
+            shm_per_rank_bw: 4.0e8,
+            intra_alpha_ns: net.intra_alpha_ns,
+        }
+    }
+
+    /// Protocol efficiency for a given *full-scale-equivalent* per-peer
+    /// message size.
+    pub fn efficiency(&self, per_peer_bytes: f64) -> f64 {
+        self.eff_max * per_peer_bytes / (per_peer_bytes + self.eff_halfsize_bytes)
+    }
+}
+
+/// The load description of one `alltoallv` superstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeLoad {
+    /// Participating ranks.
+    pub nranks: usize,
+    /// Nodes they span (1 selects the shared-memory path).
+    pub nnodes: usize,
+    /// Bytes sent by the most loaded rank.
+    pub max_send: u64,
+    /// Bytes received by the most loaded rank.
+    pub max_recv: u64,
+    /// Distinct peers the most loaded rank exchanges with (≤ nranks-1;
+    /// sparse exchanges skip empty pairs).
+    pub active_peers: usize,
+    /// Workload scale divisor of a scaled-down run (1.0 = full scale).
+    /// Efficiency is computed from full-scale-equivalent per-peer sizes so
+    /// communication *fractions* are scale-invariant.
+    pub volume_scale: f64,
+}
+
+/// Time for one `alltoallv` superstep.
+///
+/// A single-node exchange goes through shared memory; a multi-node
+/// exchange pays per-peer software costs plus a bandwidth term whose
+/// efficiency depends on the per-peer message size (see
+/// [`CollParams::eff_halfsize_bytes`]).
+pub fn alltoallv_time(p: &CollParams, load: &ExchangeLoad) -> SimTime {
+    assert!(load.nranks >= 1 && load.nnodes >= 1);
+    assert!(load.volume_scale >= 1.0);
+    if load.nranks == 1 {
+        return SimTime::ZERO;
+    }
+    let bytes = load.max_send.max(load.max_recv);
+    let peers = load.active_peers.clamp(1, load.nranks - 1);
+    let (bw, alpha) = if load.nnodes <= 1 {
+        (p.shm_per_rank_bw, p.intra_alpha_ns)
+    } else {
+        // Full-scale equivalents: both volume and peer count grow with the
+        // workload; the peer count saturates at nranks-1.
+        let full_bytes = bytes as f64 * load.volume_scale;
+        let full_peers = ((peers as f64 * load.volume_scale) as usize)
+            .clamp(1, load.nranks - 1) as f64;
+        let eff = if bytes == 0 {
+            1.0 // zero-byte exchange: only latency terms apply
+        } else {
+            p.efficiency(full_bytes / full_peers).max(1e-6)
+        };
+        (p.per_rank_bw * eff, p.alpha_ns)
+    };
+    let stages = usize::BITS - (load.nranks - 1).leading_zeros(); // ceil(log2 P)
+    let setup = SimTime::from_ns(alpha * stages as u64);
+    let peer_sw = SimTime::from_ns(p.per_peer_ns * peers as u64);
+    let transfer = if bytes == 0 {
+        SimTime::ZERO
+    } else {
+        SimTime::from_secs_f64(bytes as f64 / bw)
+    };
+    setup + peer_sw + transfer
+}
+
+/// Time for a barrier (dissemination-style): `α · ⌈log₂ P⌉`.
+pub fn barrier_time(alpha_ns: u64, nranks: usize) -> SimTime {
+    if nranks <= 1 {
+        return SimTime::ZERO;
+    }
+    let stages = usize::BITS - (nranks - 1).leading_zeros();
+    SimTime::from_ns(alpha_ns * stages as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CollParams {
+        CollParams {
+            alpha_ns: 1000,
+            per_peer_ns: 100,
+            per_rank_bw: 1e9, // 1 byte/ns
+            eff_max: 1.0,
+            eff_halfsize_bytes: 0.0, // tests reason about raw terms
+            shm_per_rank_bw: 2e9,
+            intra_alpha_ns: 100,
+        }
+    }
+
+    fn load(nranks: usize, nnodes: usize, bytes: u64) -> ExchangeLoad {
+        ExchangeLoad {
+            nranks,
+            nnodes,
+            max_send: bytes,
+            max_recv: bytes,
+            active_peers: nranks.saturating_sub(1).max(1),
+            volume_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        assert_eq!(
+            alltoallv_time(&params(), &load(1, 1, 1_000_000)),
+            SimTime::ZERO
+        );
+        assert_eq!(barrier_time(1000, 1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn two_ranks() {
+        // log2(2)=1 stage, 1 peer, 1000 bytes at 1 byte/ns.
+        let t = alltoallv_time(&params(), &load(2, 2, 1000));
+        assert_eq!(t.as_ns(), 1000 + 100 + 1000);
+    }
+
+    #[test]
+    fn bandwidth_term_uses_max_load() {
+        let p = params();
+        let mut small = load(4, 2, 1000);
+        small.max_recv = 1000;
+        let mut skewed = load(4, 2, 1000);
+        skewed.max_recv = 50_000;
+        let a = alltoallv_time(&p, &small);
+        let b = alltoallv_time(&p, &skewed);
+        assert_eq!((b - a).as_ns(), 49_000);
+    }
+
+    #[test]
+    fn peer_term_uses_active_peers() {
+        let p = params();
+        let mut dense = load(4096, 64, 0);
+        dense.active_peers = 4095;
+        let mut sparse = load(4096, 64, 0);
+        sparse.active_peers = 100;
+        let d = alltoallv_time(&p, &dense);
+        let s = alltoallv_time(&p, &sparse);
+        assert_eq!((d - s).as_ns(), (4095 - 100) * 100);
+    }
+
+    #[test]
+    fn efficiency_depends_on_per_peer_size() {
+        let p = CollParams {
+            eff_halfsize_bytes: 30_000.0,
+            eff_max: 0.9,
+            ..params()
+        };
+        // 1 kb per peer: poor; 3 MB per peer: near eff_max.
+        assert!(p.efficiency(1_000.0) < 0.05);
+        assert!(p.efficiency(3_000_000.0) > 0.88);
+        // Monotone.
+        assert!(p.efficiency(10_000.0) < p.efficiency(100_000.0));
+        // Transfer time reflects it: same bytes, more peers -> slower.
+        let few_peers = ExchangeLoad {
+            active_peers: 10,
+            ..load(4096, 64, 10_000_000)
+        };
+        let many_peers = ExchangeLoad {
+            active_peers: 4000,
+            ..load(4096, 64, 10_000_000)
+        };
+        let fast = alltoallv_time(&p, &few_peers);
+        let slow = alltoallv_time(&p, &many_peers);
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn volume_scale_preserves_full_scale_efficiency() {
+        // A 1/16-scale run must see the efficiency of the full-scale
+        // per-peer size, so comm fractions are scale-invariant.
+        let p = CollParams {
+            eff_halfsize_bytes: 30_000.0,
+            eff_max: 0.9,
+            ..params()
+        };
+        let full = ExchangeLoad {
+            active_peers: 1000,
+            ..load(4096, 64, 16_000_000)
+        };
+        let scaled = ExchangeLoad {
+            active_peers: 1000 / 16,
+            volume_scale: 16.0,
+            ..load(4096, 64, 1_000_000)
+        };
+        let t_full = alltoallv_time(&p, &full).as_secs_f64();
+        let t_scaled = alltoallv_time(&p, &scaled).as_secs_f64();
+        // Transfer terms dominate here; the scaled run should take ~1/16
+        // of the full-scale time (same efficiency, 1/16 the bytes).
+        let transfer_ratio = t_full / t_scaled;
+        assert!(
+            (transfer_ratio - 16.0).abs() < 3.0,
+            "ratio {transfer_ratio}"
+        );
+    }
+
+    #[test]
+    fn shm_path_for_single_node() {
+        let p = params();
+        let multi = alltoallv_time(&p, &load(64, 4, 1_000_000));
+        let single = alltoallv_time(&p, &load(64, 1, 1_000_000));
+        // 2 GB/s shm vs 1 GB/s wire at eff 1: shm is faster here, and no
+        // wire alpha.
+        assert!(single < multi);
+    }
+
+    #[test]
+    fn barrier_log_scaling() {
+        assert_eq!(barrier_time(1000, 2).as_ns(), 1000);
+        assert_eq!(barrier_time(1000, 1024).as_ns(), 10_000);
+        assert_eq!(barrier_time(1000, 1025).as_ns(), 11_000);
+    }
+
+    #[test]
+    fn strong_scaling_shape() {
+        // Halving per-rank load while doubling ranks: transfer halves but
+        // latency terms grow - total decreases sublinearly, as in Fig. 7.
+        let p = params();
+        let mut last = f64::INFINITY;
+        let mut ratios = Vec::new();
+        let mut bytes = 1 << 24; // 16 MB
+        for ranks in [512usize, 1024, 2048, 4096, 8192] {
+            let t = alltoallv_time(&p, &load(ranks, ranks / 64, bytes)).as_secs_f64();
+            assert!(t < last);
+            ratios.push(last / t);
+            last = t;
+            bytes /= 2;
+        }
+        // Speedup per doubling must be below 2 (sublinear).
+        for r in &ratios[1..] {
+            assert!(*r < 2.0, "ratio {r}");
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! The DES engine: SPMD rank programs over virtual time.
+//!
+//! Each rank is a [`Program`]: an event-driven state machine with handlers
+//! for start, message arrival, and barrier completion. Handlers run in
+//! virtual time; [`Ctx::advance`] consumes CPU, making the rank *busy* —
+//! events that arrive while a rank is busy are deferred until it frees up
+//! (an M/G/1-style queueing model). This is what makes RPC servicing
+//! contend with alignment compute on the target rank, the effect the
+//! paper's asynchronous code must tolerate (§3.2: "application-level
+//! polling is required").
+//!
+//! Determinism: the queue orders events by `(virtual time, insertion
+//! sequence)` and handlers run to completion, so a given program set
+//! produces a bit-identical timeline every run.
+//!
+//! Time accounting: [`Ctx::advance`] books busy time into a
+//! [`TimeCategory`] ledger; idle gaps (rank waiting for an event) are
+//! classified by the *program* via [`Ctx::classify_idle`] at the start of
+//! the next handler — only the program knows whether it was waiting on
+//! communication or on a barrier. Unclassified idle is reported separately
+//! so nothing is silently lost.
+
+use crate::coll::barrier_time;
+use crate::event::{EventPayload, EventQueue};
+use crate::mem::MemTracker;
+use crate::net::{NetParams, Network};
+use crate::stats::Summary;
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// Time ledger categories, matching the paper's runtime breakdowns
+/// (Figs. 3, 4, 8–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeCategory {
+    /// Seed-and-extend alignment work ("Computation (Alignment)").
+    Compute = 0,
+    /// Data-structure traversal, kernel invocation, serialisation
+    /// ("Computation (Overhead)").
+    Overhead = 1,
+    /// Visible (unhidden) communication latency.
+    Comm = 2,
+    /// Barrier / load-imbalance waiting ("Synchronization").
+    Sync = 3,
+}
+
+/// Number of ledger categories.
+pub const CATEGORIES: usize = 4;
+
+/// An SPMD rank program.
+pub trait Program<M> {
+    /// Called once at virtual time zero.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
+    /// Called when a message (or self-timer) arrives.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, src: usize, msg: M);
+    /// Called when a barrier this rank entered completes.
+    fn on_barrier(&mut self, ctx: &mut Ctx<'_, M>, id: u64);
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    entered: usize,
+    max_entry: SimTime,
+}
+
+/// Engine internals shared with handlers through [`Ctx`].
+struct EngineCore<M> {
+    queue: EventQueue<M>,
+    net: Network,
+    nranks: usize,
+    busy_until: Vec<SimTime>,
+    barriers: HashMap<u64, BarrierState>,
+    ledger: Vec<[SimTime; CATEGORIES]>,
+    unclassified_idle: Vec<SimTime>,
+    mem: MemTracker,
+    finish: Vec<SimTime>,
+    events_processed: u64,
+    trace: Option<Trace>,
+}
+
+/// Handler context: the engine API available to a running rank.
+pub struct Ctx<'a, M> {
+    core: &'a mut EngineCore<M>,
+    rank: usize,
+    now: SimTime,
+    /// Idle gap between the previous handler's end and this handler's
+    /// start, awaiting classification.
+    idle_pending: SimTime,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.core.nranks
+    }
+
+    /// Consumes `dt` of CPU, booked under `cat`.
+    pub fn advance(&mut self, dt: SimTime, cat: TimeCategory) {
+        let start = self.now;
+        self.now += dt;
+        self.core.ledger[self.rank][cat as usize] += dt;
+        if let Some(trace) = &mut self.core.trace {
+            trace.record(self.rank, start, self.now, cat);
+        }
+    }
+
+    /// Books the pending idle gap (time this rank spent waiting for the
+    /// event that triggered this handler) under `cat`. Call at most once
+    /// per handler; later calls book zero.
+    pub fn classify_idle(&mut self, cat: TimeCategory) {
+        let dt = std::mem::take(&mut self.idle_pending);
+        self.core.ledger[self.rank][cat as usize] += dt;
+    }
+
+    /// The as-yet-unclassified idle gap for this handler.
+    pub fn idle_gap(&self) -> SimTime {
+        self.idle_pending
+    }
+
+    /// Sends `msg` with a `bytes`-sized payload to `dst` through the
+    /// network model. Delivery time includes NIC queueing at both ends.
+    pub fn send(&mut self, dst: usize, bytes: u64, msg: M) {
+        let arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
+        self.core
+            .queue
+            .push(arrival, dst, EventPayload::Message { src: self.rank, msg });
+    }
+
+    /// Schedules `msg` back to this rank after `delay` (a self-timer; no
+    /// network involvement).
+    pub fn after(&mut self, delay: SimTime, msg: M) {
+        self.core.queue.push(
+            self.now + delay,
+            self.rank,
+            EventPayload::Message {
+                src: self.rank,
+                msg,
+            },
+        );
+    }
+
+    /// Enters barrier `id`. When all ranks have entered, every rank gets
+    /// [`Program::on_barrier`] at `max(entry times) + α·⌈log₂ P⌉`.
+    ///
+    /// Both blocking and split-phase uses are expressed with this: a
+    /// blocking rank simply does nothing until `on_barrier`; a split-phase
+    /// rank keeps processing messages in between (paper §3.2).
+    pub fn barrier_enter(&mut self, id: u64) {
+        let nranks = self.core.nranks;
+        let st = self.core.barriers.entry(id).or_default();
+        st.entered += 1;
+        assert!(
+            st.entered <= nranks,
+            "barrier {id} entered more times than there are ranks"
+        );
+        st.max_entry = st.max_entry.max(self.now);
+        if st.entered == nranks {
+            let release =
+                st.max_entry + barrier_time(self.core.net.params.alpha_ns, nranks);
+            self.core.barriers.remove(&id);
+            for r in 0..nranks {
+                self.core.queue.push(release, r, EventPayload::BarrierDone { id });
+            }
+        }
+    }
+
+    /// Records `bytes` allocated on this rank.
+    pub fn mem_alloc(&mut self, bytes: u64) {
+        self.core.mem.alloc(self.rank, bytes);
+    }
+
+    /// Records `bytes` freed on this rank.
+    pub fn mem_free(&mut self, bytes: u64) {
+        self.core.mem.free(self.rank, bytes);
+    }
+
+    /// Current allocation on this rank.
+    pub fn mem_current(&self) -> u64 {
+        self.core.mem.current(self.rank)
+    }
+}
+
+/// Per-rank results of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankReport {
+    /// Virtual time of this rank's last activity.
+    pub finish: SimTime,
+    /// Busy time per [`TimeCategory`].
+    pub ledger: [SimTime; CATEGORIES],
+    /// Idle time never classified by the program.
+    pub unclassified_idle: SimTime,
+    /// Peak memory.
+    pub mem_peak: u64,
+}
+
+/// Results of a completed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Wall-clock (virtual) end time: the last event across all ranks.
+    pub end_time: SimTime,
+    /// Per-rank details.
+    pub ranks: Vec<RankReport>,
+    /// Total events processed (a DES health metric).
+    pub events: u64,
+    /// Busy-span trace, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl SimReport {
+    /// Summary of one ledger category across ranks, in seconds.
+    pub fn category_summary(&self, cat: TimeCategory) -> Summary {
+        Summary::of(
+            self.ranks
+                .iter()
+                .map(|r| r.ledger[cat as usize].as_secs_f64()),
+        )
+    }
+
+    /// Mean seconds per rank of one category.
+    pub fn category_mean(&self, cat: TimeCategory) -> f64 {
+        self.category_summary(cat).mean
+    }
+
+    /// Maximum peak memory across ranks.
+    pub fn max_mem_peak(&self) -> u64 {
+        self.ranks.iter().map(|r| r.mem_peak).max().unwrap_or(0)
+    }
+}
+
+/// The simulation engine.
+pub struct Engine<M> {
+    core: EngineCore<M>,
+}
+
+impl<M> Engine<M> {
+    /// Creates an engine for `nranks` ranks over `net` parameters.
+    pub fn new(nranks: usize, net: NetParams) -> Engine<M> {
+        assert!(nranks >= 1, "need at least one rank");
+        Engine {
+            core: EngineCore {
+                queue: EventQueue::new(),
+                net: Network::new(net, nranks),
+                nranks,
+                busy_until: vec![SimTime::ZERO; nranks],
+                barriers: HashMap::new(),
+                ledger: vec![[SimTime::ZERO; CATEGORIES]; nranks],
+                unclassified_idle: vec![SimTime::ZERO; nranks],
+                mem: MemTracker::new(nranks),
+                finish: vec![SimTime::ZERO; nranks],
+                events_processed: 0,
+                trace: None,
+            },
+        }
+    }
+
+    /// Enables span tracing with the given capacity (see
+    /// [`crate::trace::Trace`]).
+    pub fn with_trace(mut self, capacity: usize) -> Engine<M> {
+        self.core.trace = Some(Trace::new(capacity));
+        self
+    }
+
+    /// Runs `programs` (one per rank) to quiescence and returns the report.
+    ///
+    /// # Panics
+    /// Panics if `programs.len() != nranks`, or if a barrier is left
+    /// incomplete at quiescence (a deadlocked program).
+    pub fn run<P: Program<M>>(mut self, programs: &mut [P]) -> SimReport {
+        assert_eq!(
+            programs.len(),
+            self.core.nranks,
+            "one program per rank required"
+        );
+        for r in 0..self.core.nranks {
+            self.core.queue.push(SimTime::ZERO, r, EventPayload::Start);
+        }
+        while let Some(ev) = self.core.queue.pop() {
+            let r = ev.dst;
+            let busy = self.core.busy_until[r];
+            if busy > ev.time {
+                // Rank still busy: defer until it frees up. Re-queuing (not
+                // executing late) keeps global execution monotone in
+                // virtual time, which the network model relies on.
+                self.core.queue.push(busy, r, ev.payload);
+                continue;
+            }
+            let idle = ev.time.saturating_sub(busy);
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                rank: r,
+                now: ev.time,
+                idle_pending: idle,
+            };
+            match ev.payload {
+                EventPayload::Start => programs[r].on_start(&mut ctx),
+                EventPayload::Message { src, msg } => programs[r].on_message(&mut ctx, src, msg),
+                EventPayload::BarrierDone { id } => programs[r].on_barrier(&mut ctx, id),
+            }
+            let end = ctx.now;
+            let leftover_idle = ctx.idle_pending;
+            self.core.unclassified_idle[r] += leftover_idle;
+            self.core.busy_until[r] = end;
+            self.core.finish[r] = self.core.finish[r].max(end);
+            self.core.events_processed += 1;
+        }
+        assert!(
+            self.core.barriers.is_empty(),
+            "deadlock: {} barrier(s) never completed",
+            self.core.barriers.len()
+        );
+        let end_time = self.core.finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        SimReport {
+            end_time,
+            trace: self.core.trace.take(),
+            ranks: (0..self.core.nranks)
+                .map(|r| RankReport {
+                    finish: self.core.finish[r],
+                    ledger: self.core.ledger[r],
+                    unclassified_idle: self.core.unclassified_idle[r],
+                    mem_peak: self.core.mem.peak(r),
+                })
+                .collect(),
+            events: self.core.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+        Tick,
+    }
+
+    fn small_net() -> NetParams {
+        NetParams {
+            ranks_per_node: 2,
+            alpha_ns: 1000,
+            intra_alpha_ns: 100,
+            node_bw_bytes_per_sec: 1e9,
+            per_msg_overhead_ns: 50,
+            taper: 1.0,
+        }
+    }
+
+    /// Rank 0 pings rank N-1; it pongs back.
+    struct PingPong {
+        got_pong_at: Option<SimTime>,
+    }
+
+    impl Program<Msg> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if ctx.rank() == 0 {
+                ctx.send(ctx.nranks() - 1, 100, Msg::Ping);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: usize, msg: Msg) {
+            match msg {
+                Msg::Ping => ctx.send(src, 100, Msg::Pong),
+                Msg::Pong => {
+                    ctx.classify_idle(TimeCategory::Comm);
+                    self.got_pong_at = Some(ctx.now());
+                }
+                Msg::Tick => {}
+            }
+        }
+        fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+        let report = Engine::new(4, small_net()).run(&mut progs);
+        let rtt = progs[0].got_pong_at.expect("pong received");
+        // Inter-node: (150 tx + 1000 alpha + 150 rx) each way = 2600.
+        assert_eq!(rtt.as_ns(), 2 * (150 + 1000 + 150));
+        assert_eq!(report.end_time, rtt);
+        // Rank 0's wait was classified as Comm.
+        assert_eq!(
+            report.ranks[0].ledger[TimeCategory::Comm as usize],
+            rtt
+        );
+        assert_eq!(report.events, 4 /*starts*/ + 2 /*messages*/);
+    }
+
+    /// Every rank computes a rank-dependent time then barriers.
+    struct BarrierProg {
+        released_at: Option<SimTime>,
+    }
+
+    impl Program<Msg> for BarrierProg {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            let dt = SimTime::from_ns(1000 * (ctx.rank() as u64 + 1));
+            ctx.advance(dt, TimeCategory::Compute);
+            ctx.barrier_enter(1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {}
+        fn on_barrier(&mut self, ctx: &mut Ctx<'_, Msg>, id: u64) {
+            assert_eq!(id, 1);
+            ctx.classify_idle(TimeCategory::Sync);
+            self.released_at = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn barrier_releases_all_at_max_entry_plus_cost() {
+        let n = 4;
+        let mut progs: Vec<BarrierProg> = (0..n).map(|_| BarrierProg { released_at: None }).collect();
+        let report = Engine::new(n, small_net()).run(&mut progs);
+        // Slowest rank enters at 4000; barrier cost = alpha * log2(4) = 2000.
+        let expect = SimTime::from_ns(4000 + 2000);
+        for p in &progs {
+            assert_eq!(p.released_at, Some(expect));
+        }
+        // Fastest rank (entered at 1000) waited 5000, classified as Sync.
+        assert_eq!(
+            report.ranks[0].ledger[TimeCategory::Sync as usize].as_ns(),
+            5000
+        );
+        assert_eq!(
+            report.ranks[3].ledger[TimeCategory::Sync as usize].as_ns(),
+            2000
+        );
+    }
+
+    /// A busy rank defers message handling (CPU queueing).
+    struct BusyProg {
+        handled_at: Vec<SimTime>,
+    }
+
+    impl Program<Msg> for BusyProg {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            match ctx.rank() {
+                0 => {
+                    // Send two quick messages to rank 1.
+                    ctx.send(1, 10, Msg::Ping);
+                    ctx.send(1, 10, Msg::Ping);
+                }
+                1 => {
+                    // Rank 1 is busy for 1 ms from the start.
+                    ctx.advance(SimTime::from_ms(1), TimeCategory::Compute);
+                }
+                _ => {}
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {
+            self.handled_at.push(ctx.now());
+            // Each message takes 100us to service.
+            ctx.advance(SimTime::from_us(100), TimeCategory::Overhead);
+        }
+        fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+    }
+
+    #[test]
+    fn busy_rank_defers_messages_fifo() {
+        let mut progs: Vec<BusyProg> = (0..2)
+            .map(|_| BusyProg {
+                handled_at: Vec::new(),
+            })
+            .collect();
+        let report = Engine::new(2, small_net()).run(&mut progs);
+        let h = &progs[1].handled_at;
+        assert_eq!(h.len(), 2);
+        // First handled exactly when rank 1 frees up; second 100us later.
+        assert_eq!(h[0], SimTime::from_ms(1));
+        assert_eq!(h[1], SimTime::from_ms(1) + SimTime::from_us(100));
+        assert_eq!(report.end_time, h[1] + SimTime::from_us(100));
+    }
+
+    /// Self-timers fire at the requested delay.
+    struct TimerProg {
+        fired: Option<SimTime>,
+    }
+
+    impl Program<Msg> for TimerProg {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.after(SimTime::from_us(7), Msg::Tick);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: usize, _msg: Msg) {
+            assert_eq!(src, ctx.rank());
+            self.fired = Some(ctx.now());
+        }
+        fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+    }
+
+    #[test]
+    fn timer_fires() {
+        let mut progs = vec![TimerProg { fired: None }];
+        let _ = Engine::new(1, small_net()).run(&mut progs);
+        assert_eq!(progs[0].fired, Some(SimTime::from_us(7)));
+    }
+
+    /// Unclassified idle is reported, not lost.
+    #[test]
+    fn unclassified_idle_tracked() {
+        struct LazyProg;
+        impl Program<Msg> for LazyProg {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 1000, Msg::Ping);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {
+                // Never classifies its idle gap.
+            }
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs = vec![LazyProg, LazyProg];
+        let report = Engine::new(2, small_net()).run(&mut progs);
+        assert!(report.ranks[1].unclassified_idle > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn incomplete_barrier_panics() {
+        struct HalfBarrier;
+        impl Program<Msg> for HalfBarrier {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                if ctx.rank() == 0 {
+                    ctx.barrier_enter(9);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {}
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs = vec![HalfBarrier, HalfBarrier];
+        let _ = Engine::new(2, small_net()).run(&mut progs);
+    }
+
+    #[test]
+    fn determinism_bit_identical() {
+        fn run_once() -> SimReport {
+            let mut progs: Vec<PingPong> =
+                (0..6).map(|_| PingPong { got_pong_at: None }).collect();
+            Engine::new(6, small_net()).run(&mut progs)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn tracing_records_spans() {
+        let mut progs: Vec<BarrierProg> = (0..3).map(|_| BarrierProg { released_at: None }).collect();
+        let report = Engine::new(3, small_net()).with_trace(100).run(&mut progs);
+        let trace = report.trace.expect("trace enabled");
+        // Each rank advanced compute once.
+        assert_eq!(trace.spans.len(), 3);
+        for r in 0..3 {
+            let spans = trace.rank_spans(r);
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].category, TimeCategory::Compute as u8);
+            assert_eq!((spans[0].end - spans[0].start).as_ns(), 1000 * (r as u64 + 1));
+        }
+        // Untraced runs carry no trace.
+        let mut progs2: Vec<BarrierProg> = (0..3).map(|_| BarrierProg { released_at: None }).collect();
+        let plain = Engine::new(3, small_net()).run(&mut progs2);
+        assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn memory_accounting_via_ctx() {
+        struct MemProg;
+        impl Program<Msg> for MemProg {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.mem_alloc(1000);
+                assert_eq!(ctx.mem_current(), 1000);
+                ctx.mem_free(400);
+                assert_eq!(ctx.mem_current(), 600);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {}
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs = vec![MemProg];
+        let report = Engine::new(1, small_net()).run(&mut progs);
+        assert_eq!(report.ranks[0].mem_peak, 1000);
+        assert_eq!(report.max_mem_peak(), 1000);
+    }
+}

@@ -1,0 +1,165 @@
+//! The event queue: a deterministic min-heap over `(time, sequence)`.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event delivers to a rank. Generic over the application message
+/// type `M` (each simulation defines its own enum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventPayload<M> {
+    /// Program start.
+    Start,
+    /// A message from `src` (also used for self-timers, with `src == dst`).
+    Message {
+        /// Sending rank.
+        src: usize,
+        /// Application payload.
+        msg: M,
+    },
+    /// A barrier this rank entered has completed.
+    BarrierDone {
+        /// Barrier identifier.
+        id: u64,
+    },
+}
+
+/// A scheduled event targeting one rank.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// Delivery time (the rank may start handling later if busy).
+    pub time: SimTime,
+    /// Global insertion sequence; the deterministic tie-break.
+    pub seq: u64,
+    /// Destination rank.
+    pub dst: usize,
+    /// Payload.
+    pub payload: EventPayload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` for `dst` at `time`.
+    pub fn push(&mut self, time: SimTime, dst: usize, payload: EventPayload<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            dst,
+            payload,
+        });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(SimTime::from_ns(30), 0, EventPayload::Start);
+        q.push(SimTime::from_ns(10), 1, EventPayload::Start);
+        q.push(SimTime::from_ns(20), 2, EventPayload::Start);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.dst)).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for dst in 0..10 {
+            q.push(t, dst, EventPayload::Start);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.dst)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 0, EventPayload::Start);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn payload_carried() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.push(
+            SimTime::ZERO,
+            3,
+            EventPayload::Message {
+                src: 1,
+                msg: "hello",
+            },
+        );
+        let e = q.pop().unwrap();
+        assert_eq!(e.dst, 3);
+        match e.payload {
+            EventPayload::Message { src, msg } => {
+                assert_eq!(src, 1);
+                assert_eq!(msg, "hello");
+            }
+            _ => panic!("wrong payload"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-rank reductions: min / max / mean / sum and load imbalance.
+//!
+//! The paper computes per-run statistics "via global reductions across
+//! parallel processors" (§4); this is the equivalent for simulated ranks.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a per-rank quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Smallest per-rank value.
+    pub min: f64,
+    /// Largest per-rank value.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sum.
+    pub sum: f64,
+    /// Number of ranks reduced over.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Reduces an iterator of per-rank values. Returns a zeroed summary for
+    /// an empty iterator.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            return Summary {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                sum: 0.0,
+                n: 0,
+            };
+        }
+        Summary {
+            min,
+            max,
+            mean: sum / n as f64,
+            sum,
+            n,
+        }
+    }
+
+    /// Load imbalance: `max / mean` (1.0 = perfectly balanced). Defined as
+    /// 1.0 when the mean is zero.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max / self.mean
+        }
+    }
+
+    /// Spread: `max - min` (the paper's Fig. 6 quantity).
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_reduction() {
+        let s = Summary::of([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.sum, 10.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.n, 4);
+        assert!((s.imbalance() - 1.6).abs() < 1e-12);
+        assert_eq!(s.spread(), 3.0);
+    }
+
+    #[test]
+    fn empty() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.imbalance(), 1.0);
+        assert_eq!(s.spread(), 0.0);
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let s = Summary::of(vec![5.0; 8]);
+        assert_eq!(s.imbalance(), 1.0);
+        assert_eq!(s.spread(), 0.0);
+    }
+
+    #[test]
+    fn zero_mean() {
+        let s = Summary::of([0.0, 0.0]);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

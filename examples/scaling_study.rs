@@ -1,0 +1,63 @@
+//! A miniature of the paper's multinode study: strong-scale a Human-CCS-
+//! like workload across simulated Cori KNL nodes under both coordination
+//! codes and compare runtime, visible communication, and memory.
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use gnb::core::driver::{run_sim, Algorithm, RunConfig};
+use gnb::core::workload::SimWorkload;
+use gnb::core::MachineConfig;
+use gnb::overlap::synth::{synthesize, SynthParams};
+use gnb_genome::presets;
+
+fn main() {
+    // Human CCS profile at 1/128 scale: same coverage, lengths, and
+    // repeat-candidate structure; ~9k reads.
+    let scale = 128;
+    let preset = presets::human_ccs().scaled(scale);
+    let synth = synthesize(&SynthParams::from_preset(&preset), 3);
+    println!(
+        "human_ccs at 1/{scale}: {} reads, {} tasks ({:.1}/read, {:.0}% false candidates)",
+        synth.reads(),
+        synth.tasks.len(),
+        synth.tasks_per_read(),
+        synth.fp_fraction() * 100.0
+    );
+
+    println!(
+        "\n{:>5} {:>7} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "nodes", "cores", "BSP(s)", "comm%", "rounds", "Async(s)", "comm%", "gap%"
+    );
+    let cfg = RunConfig::default();
+    for nodes in [2usize, 4, 8, 16] {
+        let mut machine = MachineConfig::cori_knl(nodes);
+        // Memory scaled with the workload so the BSP code hits the same
+        // multi-round regime the paper shows at 8-32 nodes, and the
+        // communication-efficiency law fed full-scale volumes (see
+        // EXPERIMENTS.md on scaling methodology).
+        machine.mem_per_core /= scale as u64;
+        machine.volume_scale = scale as f64;
+        let w = SimWorkload::prepare(
+            &synth.lengths,
+            &synth.tasks,
+            &synth.overlap_len,
+            machine.nranks(),
+        );
+        let bsp = run_sim(&w, &machine, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&w, &machine, Algorithm::Async, &cfg);
+        assert_eq!(bsp.task_checksum, asy.task_checksum, "identical results");
+        let gap = (bsp.runtime() - asy.runtime()) / bsp.runtime() * 100.0;
+        println!(
+            "{:>5} {:>7} | {:>9.2} {:>8.1}% {:>7} | {:>9.2} {:>8.1}% {:>6.1}%",
+            nodes,
+            machine.nranks(),
+            bsp.runtime(),
+            bsp.breakdown.comm_fraction() * 100.0,
+            bsp.rounds,
+            asy.runtime(),
+            asy.breakdown.comm_fraction() * 100.0,
+            gap
+        );
+    }
+    println!("\n(gap% = how much faster the asynchronous code finishes)");
+}

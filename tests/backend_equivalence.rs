@@ -1,0 +1,117 @@
+//! Cross-backend equivalence: the bulk-synchronous and asynchronous
+//! coordination codes must complete *exactly* the same task set under every
+//! machine shape, memory budget, and mode — timing may differ, results may
+//! not. This is the paper's implicit correctness contract ("the alignment
+//! tasks ... are treated as fixed inputs").
+
+use gnb::core::driver::{run_sim, Algorithm, RunConfig};
+use gnb::core::workload::SimWorkload;
+use gnb::core::{CostModel, MachineConfig};
+use gnb::genome::presets;
+use gnb::overlap::synth::{synthesize, SynthParams};
+
+fn workload(scale: usize, seed: u64, nranks: usize) -> SimWorkload {
+    let preset = presets::ecoli_30x().scaled(scale);
+    let s = synthesize(&SynthParams::from_preset(&preset), seed);
+    SimWorkload::prepare(&s.lengths, &s.tasks, &s.overlap_len, nranks)
+}
+
+fn machine(nodes: usize, cores: usize) -> MachineConfig {
+    MachineConfig::cori_knl(nodes).with_cores_per_node(cores)
+}
+
+#[test]
+fn identical_results_across_machine_shapes() {
+    for (nodes, cores) in [(1usize, 4usize), (1, 16), (2, 8), (4, 4)] {
+        let m = machine(nodes, cores);
+        let w = workload(64, 3, m.nranks());
+        w.validate();
+        let cfg = RunConfig::default();
+        let bsp = run_sim(&w, &m, Algorithm::Bsp, &cfg);
+        let asy = run_sim(&w, &m, Algorithm::Async, &cfg);
+        assert_eq!(bsp.tasks_done as usize, w.total_tasks);
+        assert_eq!(bsp.tasks_done, asy.tasks_done, "{nodes}x{cores}");
+        assert_eq!(bsp.task_checksum, asy.task_checksum, "{nodes}x{cores}");
+    }
+}
+
+#[test]
+fn memory_budget_sweep_preserves_results() {
+    let m0 = machine(2, 8);
+    let w = workload(64, 4, m0.nranks());
+    let cfg = RunConfig::default();
+    let reference = run_sim(&w, &m0, Algorithm::Bsp, &cfg);
+    let mut seen_multi_round = false;
+    for mem_mb in [512u64, 8, 1] {
+        let mut m = m0;
+        m.mem_per_core = mem_mb << 20;
+        let r = run_sim(&w, &m, Algorithm::Bsp, &cfg);
+        assert_eq!(r.task_checksum, reference.task_checksum, "mem {mem_mb}MB");
+        if r.rounds > 1 {
+            seen_multi_round = true;
+        }
+        // Tighter memory can only slow the BSP code down.
+        assert!(r.runtime() >= reference.runtime() - 1e-9);
+    }
+    assert!(seen_multi_round, "the sweep must exercise multi-round BSP");
+}
+
+#[test]
+fn comm_only_mode_completes_everything() {
+    let m = machine(2, 8);
+    let w = workload(64, 5, m.nranks());
+    let mut cfg = RunConfig::default();
+    cfg.cost = CostModel::comm_only();
+    let bsp = run_sim(&w, &m, Algorithm::Bsp, &cfg);
+    let asy = run_sim(&w, &m, Algorithm::Async, &cfg);
+    assert_eq!(bsp.tasks_done, asy.tasks_done);
+    assert_eq!(bsp.task_checksum, asy.task_checksum);
+    assert_eq!(bsp.breakdown.compute.sum, 0.0);
+    assert_eq!(asy.breakdown.compute.sum, 0.0);
+}
+
+#[test]
+fn rpc_window_is_performance_only() {
+    let m = machine(2, 8);
+    let w = workload(64, 6, m.nranks());
+    let mut checksums = Vec::new();
+    for window in [1usize, 4, 64, 4096] {
+        let mut cfg = RunConfig::default();
+        cfg.rpc_window = window;
+        let r = run_sim(&w, &m, Algorithm::Async, &cfg);
+        checksums.push(r.task_checksum);
+    }
+    assert!(checksums.windows(2).all(|p| p[0] == p[1]));
+}
+
+#[test]
+fn async_memory_stays_window_bounded() {
+    let m = machine(2, 8);
+    let w = workload(32, 7, m.nranks());
+    let mut cfg = RunConfig::default();
+    cfg.rpc_window = 4;
+    let r = run_sim(&w, &m, Algorithm::Async, &cfg);
+    let max_read = w.lengths.iter().copied().max().unwrap_or(0) as u64;
+    for (rank, rd) in w.per_rank.iter().enumerate() {
+        let static_bytes = rd.partition_bytes + rd.total_tasks() as u64 * 48;
+        // Dynamic excess bounded by window + ready-queue reads; allow a
+        // small multiple of the window for queued-but-uncomputed replies.
+        assert!(
+            r.mem_peaks[rank] <= static_bytes + 16 * max_read,
+            "rank {rank}: peak {} static {static_bytes}",
+            r.mem_peaks[rank]
+        );
+    }
+}
+
+#[test]
+fn os_noise_slows_but_preserves() {
+    let m = machine(1, 8);
+    let w = workload(64, 8, m.nranks());
+    let quiet = run_sim(&w, &m, Algorithm::Bsp, &RunConfig::default());
+    let mut noisy_cfg = RunConfig::default();
+    noisy_cfg.os_noise = 0.2;
+    let noisy = run_sim(&w, &m, Algorithm::Bsp, &noisy_cfg);
+    assert_eq!(quiet.task_checksum, noisy.task_checksum);
+    assert!(noisy.runtime() > quiet.runtime());
+}

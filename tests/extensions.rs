@@ -1,0 +1,124 @@
+//! Integration tests for the beyond-the-paper extensions: cost-aware
+//! balancing, failure injection, minimizer seeding, the stage-2 simulation,
+//! and the prelude memory model.
+
+use gnb::core::driver::{run_sim, Algorithm, RunConfig};
+use gnb::core::kmer_stage::run_kmer_stage;
+use gnb::core::pipeline::{run_pipeline, PipelineParams, SeedMode};
+use gnb::core::prelude_stage::PreludeModel;
+use gnb::core::workload::{BalanceStrategy, SimWorkload};
+use gnb::core::{CostModel, MachineConfig};
+use gnb::genome::presets;
+use gnb::overlap::synth::{synthesize, SynthParams};
+
+fn human_like(nranks: usize, seed: u64) -> SimWorkload {
+    let preset = presets::human_ccs().scaled(2048);
+    let s = synthesize(&SynthParams::from_preset(&preset), seed);
+    SimWorkload::prepare(&s.lengths, &s.tasks, &s.overlap_len, nranks)
+}
+
+#[test]
+fn cost_balancing_reduces_sync_time() {
+    let machine = MachineConfig::cori_knl(2).with_cores_per_node(16);
+    let preset = presets::ecoli_100x().scaled(64);
+    let s = synthesize(&SynthParams::from_preset(&preset), 5);
+    let cfg = RunConfig::default();
+
+    let by_count = SimWorkload::prepare(&s.lengths, &s.tasks, &s.overlap_len, machine.nranks());
+    let by_cost = SimWorkload::prepare_with(
+        &s.lengths,
+        &s.tasks,
+        &s.overlap_len,
+        machine.nranks(),
+        BalanceStrategy::EstimatedCost(CostModel::default()),
+    );
+    let r_count = run_sim(&by_count, &machine, Algorithm::Bsp, &cfg);
+    let r_cost = run_sim(&by_cost, &machine, Algorithm::Bsp, &cfg);
+    // Identical work completed...
+    assert_eq!(r_count.tasks_done, r_cost.tasks_done);
+    // ...with less barrier waiting under cost balancing.
+    assert!(
+        r_cost.breakdown.sync.mean < r_count.breakdown.sync.mean,
+        "cost-balanced sync {} should beat count-balanced {}",
+        r_cost.breakdown.sync.mean,
+        r_count.breakdown.sync.mean
+    );
+    assert!(r_cost.runtime() <= r_count.runtime() * 1.02);
+}
+
+#[test]
+fn failure_injection_through_driver() {
+    let machine = MachineConfig::cori_knl(2).with_cores_per_node(8);
+    let w = human_like(machine.nranks(), 6);
+    let reliable = run_sim(&w, &machine, Algorithm::Async, &RunConfig::default());
+    let mut lossy_cfg = RunConfig::default();
+    lossy_cfg.rpc_drop_period = 5;
+    lossy_cfg.rpc_timeout_ns = 200_000;
+    let lossy = run_sim(&w, &machine, Algorithm::Async, &lossy_cfg);
+    assert_eq!(reliable.task_checksum, lossy.task_checksum);
+    assert!(lossy.runtime() > reliable.runtime());
+}
+
+#[test]
+fn minimizer_pipeline_end_to_end() {
+    let preset = presets::ecoli_30x().scaled(1024);
+    let reads = preset.generate(66);
+    let mut params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    params.seeds = SeedMode::Minimizers { w: 10 };
+    let res = run_pipeline(&reads, &params);
+    assert!(res.accepted() > 0, "minimizer seeding must find overlaps");
+    // Every accepted record corresponds to a candidate found via a
+    // minimizer seed and aligns the two reads it names.
+    for rec in res.outcome.accepted() {
+        assert!(rec.a != rec.b);
+        assert!((rec.a_end as usize) <= reads.read_len(rec.a as usize));
+    }
+}
+
+#[test]
+fn kmer_stage_then_alignment_stage() {
+    // End-to-end simulated pipeline: stage 2 (k-mer analysis) then stage 3
+    // (alignment) on the same machine and workload.
+    let machine = MachineConfig::cori_knl(2).with_cores_per_node(8);
+    let w = human_like(machine.nranks(), 7);
+    let cfg = RunConfig::default();
+    let stage2 = run_kmer_stage(&w, &machine, &cfg);
+    let stage3 = run_sim(&w, &machine, Algorithm::Async, &cfg);
+    assert!(stage2.total > 0.0);
+    assert!(stage3.runtime() > 0.0);
+    // The alignment stage dominates end-to-end time on real workloads.
+    assert!(
+        stage3.runtime() > stage2.total,
+        "alignment {} should dominate k-mer analysis {}",
+        stage3.runtime(),
+        stage2.total
+    );
+}
+
+#[test]
+fn prelude_model_consistent_with_machine() {
+    let m = PreludeModel::default();
+    let machine = MachineConfig::cori_knl(1);
+    // Full-scale Human CCS input needs (4, 8] nodes; scaled inputs need
+    // proportionally fewer.
+    let full: u64 = 1_148_839 * 11_060;
+    let full_nodes = m.min_nodes(full, &machine);
+    assert!(full_nodes > 4 && full_nodes <= 8);
+    assert!(m.min_nodes(full / 16, &machine) < full_nodes);
+}
+
+#[test]
+fn traced_run_reports_spans() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(4);
+    let w = human_like(machine.nranks(), 8);
+    let mut cfg = RunConfig::default();
+    cfg.trace_capacity = 100_000;
+    let r = run_sim(&w, &machine, Algorithm::Bsp, &cfg);
+    let trace = r.report.trace.as_ref().expect("trace on");
+    assert!(!trace.spans.is_empty());
+    // Every span belongs to a valid rank and has positive extent.
+    for s in &trace.spans {
+        assert!(s.rank < machine.nranks());
+        assert!(s.end > s.start);
+    }
+}

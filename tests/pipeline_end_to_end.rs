@@ -1,0 +1,78 @@
+//! End-to-end integration: the real string pipeline feeds the simulated
+//! distributed study — the same fixed task set flows through the shared
+//! rayon backend and both simulated coordination codes.
+
+use gnb::core::driver::{run_sim, Algorithm, RunConfig};
+use gnb::core::pipeline::{run_pipeline, PipelineParams};
+use gnb::core::workload::SimWorkload;
+use gnb::core::MachineConfig;
+use gnb::genome::presets;
+
+#[test]
+fn string_pipeline_feeds_simulated_study() {
+    let preset = presets::ecoli_30x().scaled(512);
+    let reads = preset.generate(55);
+    let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let res = run_pipeline(&reads, &params);
+    assert!(res.tasks.len() > 100, "tasks: {}", res.tasks.len());
+
+    // The string pipeline's candidates + ground-truth overlaps become the
+    // fixed simulation input.
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let lengths = reads.lengths();
+    let w = SimWorkload::prepare(&lengths, &res.tasks, &res.overlaps, machine.nranks());
+    w.validate();
+    assert_eq!(w.total_tasks, res.tasks.len());
+
+    let cfg = RunConfig::default();
+    let bsp = run_sim(&w, &machine, Algorithm::Bsp, &cfg);
+    let asy = run_sim(&w, &machine, Algorithm::Async, &cfg);
+    assert_eq!(bsp.tasks_done as usize, res.tasks.len());
+    assert_eq!(bsp.task_checksum, asy.task_checksum);
+
+    // The shared backend actually computed those alignments.
+    assert_eq!(res.outcome.records.len(), res.tasks.len());
+    assert!(res.accepted() > 0);
+}
+
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let preset = presets::ecoli_30x().scaled(1024);
+        let reads = preset.generate(77);
+        let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+        let res = run_pipeline(&reads, &params);
+        let machine = MachineConfig::cori_knl(1).with_cores_per_node(4);
+        let lengths = reads.lengths();
+        let w = SimWorkload::prepare(&lengths, &res.tasks, &res.overlaps, machine.nranks());
+        let sim = run_sim(&w, &machine, Algorithm::Async, &RunConfig::default());
+        (
+            res.tasks.len(),
+            res.accepted(),
+            res.outcome.total_cells,
+            sim.task_checksum,
+            sim.report.end_time,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn accepted_overlaps_survive_strand_flips() {
+    // Same genome, reads sampled with strand randomisation: the pipeline
+    // must find overlaps between opposite-strand reads (Fig. 2's premise).
+    let preset = presets::ecoli_30x().scaled(1024);
+    let reads = preset.generate(88);
+    let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let res = run_pipeline(&reads, &params);
+    let opposite = res
+        .outcome
+        .accepted()
+        .filter(|r| !r.same_strand)
+        .count();
+    let same = res.outcome.accepted().filter(|r| r.same_strand).count();
+    assert!(
+        opposite > 0 && same > 0,
+        "both orientations must appear: same={same} opposite={opposite}"
+    );
+}
