@@ -131,8 +131,7 @@ mod tests {
         // 2*(open+extend) = -8.
         let one_gap = affine_local_align(b"AAAAAAAACCAAAAAAAA", b"AAAAAAAAAAAAAAAA", &sc());
         assert_eq!(one_gap.score, 16 - 3 - 2);
-        let two_gaps =
-            affine_local_align(b"AAAAACCAAAAAACCAAAAA", b"AAAAAAAAAAAAAAAA", &sc());
+        let two_gaps = affine_local_align(b"AAAAACCAAAAAACCAAAAA", b"AAAAAAAAAAAAAAAA", &sc());
         // Splitting the interruptions costs at least one extra open
         // relative to the single-gap pair, however the DP mixes gaps and
         // mismatches around the second run.

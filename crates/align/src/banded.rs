@@ -45,8 +45,8 @@ pub fn banded_global(a: &[u8], b: &[u8], sc: &ScoringScheme, band: usize) -> Ban
     let mut prev = vec![NEG; m + 1];
     let mut cur = vec![NEG; m + 1];
     let mut cells = 0u64;
-    for j in 0..=hi(0) {
-        prev[j] = j as i32 * sc.gap;
+    for (j, p) in prev.iter_mut().enumerate().take(hi(0) + 1) {
+        *p = j as i32 * sc.gap;
     }
     for i in 1..=n {
         let (l, h) = (lo(i), hi(i));

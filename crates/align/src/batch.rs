@@ -127,7 +127,9 @@ mod tests {
     fn make_reads() -> (ReadSet, Vec<Candidate>) {
         let bases = b"ACGT";
         let gen = |seed: usize, n: usize| -> Vec<u8> {
-            (0..n).map(|i| bases[(i * 7 + seed * 13 + i / 3) % 4]).collect()
+            (0..n)
+                .map(|i| bases[(i * 7 + seed * 13 + i / 3) % 4])
+                .collect()
         };
         let core = gen(5, 600);
         let a: Vec<u8> = gen(1, 200).into_iter().chain(core.clone()).collect();

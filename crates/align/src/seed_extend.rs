@@ -118,6 +118,7 @@ impl SeedExtendScratch {
 ///
 /// # Panics
 /// Panics if the seed windows fall outside the reads (a corrupt candidate).
+#[allow(clippy::too_many_arguments)]
 pub fn align_candidate_with(
     scratch: &mut SeedExtendScratch,
     seq_a: &[u8],
@@ -130,7 +131,10 @@ pub fn align_candidate_with(
 ) -> AlignmentRecord {
     let a_pos = cand.a_pos as usize;
     assert!(a_pos + k <= seq_a.len(), "seed outside read a");
-    assert!((cand.b_pos as usize) + k <= seq_b.len(), "seed outside read b");
+    assert!(
+        (cand.b_pos as usize) + k <= seq_b.len(),
+        "seed outside read b"
+    );
 
     // Strand normalisation: work with b in the orientation that makes the
     // seed a forward match.
@@ -147,7 +151,10 @@ pub fn align_candidate_with(
     // Seed score: count actual matches in the window (erroneous candidates
     // could in principle carry a slightly degenerate seed; score honestly).
     let mut seed_score = 0;
-    for (ca, cb) in seq_a[a_pos..a_pos + k].iter().zip(&b_norm[b_pos..b_pos + k]) {
+    for (ca, cb) in seq_a[a_pos..a_pos + k]
+        .iter()
+        .zip(&b_norm[b_pos..b_pos + k])
+    {
         seed_score += sc.substitution(*ca, *cb);
     }
 
@@ -161,7 +168,9 @@ pub fn align_candidate_with(
     scratch.a_rev.extend(seq_a[..a_pos].iter().rev());
     scratch.b_rev.clear();
     scratch.b_rev.extend(b_norm[..b_pos].iter().rev());
-    let left = scratch.aligner.extend(&scratch.a_rev, &scratch.b_rev, sc, x);
+    let left = scratch
+        .aligner
+        .extend(&scratch.a_rev, &scratch.b_rev, sc, x);
 
     let a_begin = a_pos - left.a_ext;
     let a_end = a_pos + k + right.a_ext;
@@ -421,7 +430,15 @@ mod tests {
             b_pos: 0,
             same_strand: true,
         };
-        let _ = align_candidate(b"ACGT", b"ACGTACGTACGTACGTACGT", &cand, 17, &SC, X, &crit(0, 0));
+        let _ = align_candidate(
+            b"ACGT",
+            b"ACGTACGTACGTACGTACGT",
+            &cand,
+            17,
+            &SC,
+            X,
+            &crit(0, 0),
+        );
     }
 
     #[test]

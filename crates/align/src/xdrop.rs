@@ -86,10 +86,10 @@ impl XDropAligner {
         // Diagonal 0: the empty extension.
         self.cur[PAD] = 0;
         std::mem::swap(&mut self.prev, &mut self.cur); // prev = diag 0
-        // Live (unpruned) row ranges of the two predecessor diagonals. A
-        // cell on diagonal d is reachable from d-1 (gap moves) *or directly
-        // from d-2* (the diagonal move skips d-1), so candidates and the
-        // termination test must consider both.
+                                                       // Live (unpruned) row ranges of the two predecessor diagonals. A
+                                                       // cell on diagonal d is reachable from d-1 (gap moves) *or directly
+                                                       // from d-2* (the diagonal move skips d-1), so candidates and the
+                                                       // termination test must consider both.
         let mut live1: Option<(usize, usize)> = Some((0, 0)); // diagonal d-1
         let mut live2: Option<(usize, usize)> = None; // diagonal d-2
 
@@ -241,8 +241,16 @@ mod tests {
     fn false_positive_terminates_early() {
         // Junk after a short agreeing prefix: the band must die quickly and
         // evaluate far fewer cells than the full matrix.
-        let a: Vec<u8> = b"ACGTACGT".iter().chain([b'A'; 2000].iter()).copied().collect();
-        let b: Vec<u8> = b"ACGTACGT".iter().chain([b'T'; 2000].iter()).copied().collect();
+        let a: Vec<u8> = b"ACGTACGT"
+            .iter()
+            .chain([b'A'; 2000].iter())
+            .copied()
+            .collect();
+        let b: Vec<u8> = b"ACGTACGT"
+            .iter()
+            .chain([b'T'; 2000].iter())
+            .copied()
+            .collect();
         let r = xdrop_extend(&a, &b, &SC, 10);
         assert_eq!(r.score, 8);
         assert!(

@@ -8,7 +8,10 @@ use gnb_align::ScoringScheme;
 use proptest::prelude::*;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..max_len)
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        0..max_len,
+    )
 }
 
 fn dna_with_n(max_len: usize) -> impl Strategy<Value = Vec<u8>> {

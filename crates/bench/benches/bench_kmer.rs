@@ -42,7 +42,9 @@ fn bench_counting(c: &mut Criterion) {
 }
 
 fn bench_canonical(c: &mut Criterion) {
-    let kmers: Vec<Kmer> = (0..4096u64).map(|i| Kmer(i.wrapping_mul(0x9E37_79B9))).collect();
+    let kmers: Vec<Kmer> = (0..4096u64)
+        .map(|i| Kmer(i.wrapping_mul(0x9E37_79B9)))
+        .collect();
     c.bench_function("canonicalize_4k", |b| {
         b.iter(|| {
             kmers

@@ -18,7 +18,13 @@ struct Ring {
 impl Program<Msg> for Ring {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let next = (ctx.rank() + 1) % ctx.nranks();
-        ctx.send(next, 64, Msg::Token { hops: self.start_hops });
+        ctx.send(
+            next,
+            64,
+            Msg::Token {
+                hops: self.start_hops,
+            },
+        );
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _src: usize, Msg::Token { hops }: Msg) {
         ctx.advance(SimTime::from_ns(200), TimeCategory::Compute);
@@ -40,7 +46,10 @@ impl Program<Msg> for BarrierLoop {
     }
     fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {}
     fn on_barrier(&mut self, ctx: &mut Ctx<'_, Msg>, id: u64) {
-        ctx.advance(SimTime::from_ns(100 * (ctx.rank() as u64 + 1)), TimeCategory::Compute);
+        ctx.advance(
+            SimTime::from_ns(100 * (ctx.rank() as u64 + 1)),
+            TimeCategory::Compute,
+        );
         if id < self.remaining {
             ctx.barrier_enter(id + 1);
         }

@@ -1,8 +1,8 @@
 //! Diagnostic: where does per-rank compute imbalance come from?
 
 use gnb_bench::{cli_args, load_workload};
-use gnb_core::CostModel;
 use gnb_core::machine::MachineConfig;
+use gnb_core::CostModel;
 
 fn main() {
     let args = cli_args();
@@ -31,14 +31,23 @@ fn main() {
     let mean_s: f64 = per_rank.iter().map(|x| x.1).sum::<f64>() / nranks as f64;
     let max_s = per_rank.iter().cloned().fold(0.0f64, |a, x| a.max(x.1));
     println!("tasks/rank: min {min_t} max {max_t}");
-    println!("secs/rank: mean {mean_s:.1} max {max_s:.1} imb {:.2}", max_s / mean_s);
+    println!(
+        "secs/rank: mean {mean_s:.1} max {max_s:.1} imb {:.2}",
+        max_s / mean_s
+    );
     let mut sorted: Vec<(usize, f64, u64)> = per_rank.clone();
     sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (i, (n, s, rb)) in sorted.iter().take(5).enumerate() {
-        println!("top{i}: tasks {n} secs {s:.1} recvMB {:.0}", *rb as f64 / 1e6);
+        println!(
+            "top{i}: tasks {n} secs {s:.1} recvMB {:.0}",
+            *rb as f64 / 1e6
+        );
     }
     for (i, (n, s, rb)) in sorted.iter().rev().take(3).enumerate() {
-        println!("bot{i}: tasks {n} secs {s:.1} recvMB {:.0}", *rb as f64 / 1e6);
+        println!(
+            "bot{i}: tasks {n} secs {s:.1} recvMB {:.0}",
+            *rb as f64 / 1e6
+        );
     }
     // Distribution of costs per task overall.
     let mut costs: Vec<f64> = Vec::new();

@@ -28,16 +28,23 @@ fn main() {
     for cores in [64usize, 68] {
         let machine = w.machine(1).with_cores_per_node(cores);
         let sim = w.prepare(machine.nranks());
-        let mut cfg = RunConfig::default();
-        // Without the 4 isolated cores, OS noise leaks into every rank.
-        cfg.os_noise = if cores == 68 { 0.10 } else { 0.0 };
+        let cfg = RunConfig {
+            // Without the 4 isolated cores, OS noise leaks into every rank.
+            os_noise: if cores == 68 { 0.10 } else { 0.0 },
+            ..RunConfig::default()
+        };
         for algo in [Algorithm::Bsp, Algorithm::Async] {
             let r = run_sim(&sim, &machine, algo, &cfg);
             let b = &r.breakdown;
             println!(
                 "{:<6} {:<6} | {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-                cores, algo.to_string(), b.total, b.compute.mean, b.overhead.mean,
-                b.comm.mean, b.sync.mean
+                cores,
+                algo.to_string(),
+                b.total,
+                b.compute.mean,
+                b.overhead.mean,
+                b.comm.mean,
+                b.sync.mean
             );
             rows.push(format!("{cores}\t{algo}\t{}", b.tsv_row()));
             totals.insert((cores, algo.to_string()), b.total);
@@ -45,7 +52,7 @@ fn main() {
     }
     write_tsv(
         "f03_single_node_cores.tsv",
-        "cores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s",
+        "cores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\trecovery_s",
         &rows,
     );
 

@@ -28,8 +28,14 @@ fn main() {
             let compute_pct = (b.compute.mean + b.overhead.mean) / b.total * 100.0;
             println!(
                 "{:<12} {:<6} | {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} | {:>8.1}%",
-                name, algo.to_string(), b.total, b.compute.mean, b.overhead.mean,
-                b.comm.mean, b.sync.mean, compute_pct
+                name,
+                algo.to_string(),
+                b.total,
+                b.compute.mean,
+                b.overhead.mean,
+                b.comm.mean,
+                b.sync.mean,
+                compute_pct
             );
             rows.push(format!("{name}\t{algo}\t{}\t{compute_pct:.2}", b.tsv_row()));
             totals.push(b.total);
@@ -42,7 +48,7 @@ fn main() {
     }
     write_tsv(
         "f04_problem_sizes.tsv",
-        "dataset\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\tcompute_pct",
+        "dataset\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\trecovery_s\tcompute_pct",
         &rows,
     );
 }

@@ -19,8 +19,10 @@ fn main() {
         w.scale
     ));
 
-    let mut cfg = RunConfig::default();
-    cfg.cost = CostModel::comm_only();
+    let cfg = RunConfig {
+        cost: CostModel::comm_only(),
+        ..RunConfig::default()
+    };
 
     println!(
         "{:>5} {:>7} | {:>12} {:>12} | {:>10}",

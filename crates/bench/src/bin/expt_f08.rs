@@ -21,7 +21,16 @@ fn main() {
 
     println!(
         "{:>5} {:>6} {:<6} | {:>9} {:>8} {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7}",
-        "nodes", "cores", "algo", "total(s)", "align", "ovhd", "comm", "sync", "comm%", "rounds",
+        "nodes",
+        "cores",
+        "algo",
+        "total(s)",
+        "align",
+        "ovhd",
+        "comm",
+        "sync",
+        "comm%",
+        "rounds",
         "gap%"
     );
     let cfg = RunConfig::default();
@@ -74,7 +83,7 @@ fn main() {
     }
     write_tsv(
         "f08_ecoli100_scaling.tsv",
-        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\tcomm_frac\trounds",
+        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\trecovery_s\tcomm_frac\trounds",
         &rows,
     );
 }

@@ -42,7 +42,11 @@ fn main() {
                 b.sync.mean,
                 b.comm_fraction() * 100.0,
                 r.rounds,
-                if r.algorithm == Algorithm::Async { gap } else { 0.0 }
+                if r.algorithm == Algorithm::Async {
+                    gap
+                } else {
+                    0.0
+                }
             );
             rows.push(format!(
                 "{nodes}\t{}\t{}\t{}\t{:.4}\t{}",
@@ -56,8 +60,10 @@ fn main() {
     }
     write_tsv(
         "f09_human_small_scale.tsv",
-        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\tcomm_frac\trounds",
+        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\trecovery_s\tcomm_frac\trounds",
         &rows,
     );
-    println!("\nexpected shape: rounds > 1 until memory suffices; BSP comm% high while multi-round");
+    println!(
+        "\nexpected shape: rounds > 1 until memory suffices; BSP comm% high while multi-round"
+    );
 }

@@ -43,7 +43,11 @@ fn main() {
                 b.sync.mean,
                 b.comm_fraction() * 100.0,
                 r.rounds,
-                if r.algorithm == Algorithm::Async { gap } else { 0.0 }
+                if r.algorithm == Algorithm::Async {
+                    gap
+                } else {
+                    0.0
+                }
             );
             rows.push(format!(
                 "{nodes}\t{}\t{}\t{}\t{:.4}\t{}",
@@ -57,7 +61,7 @@ fn main() {
     }
     write_tsv(
         "f10_human_large_scale.tsv",
-        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\tcomm_frac\trounds",
+        "nodes\tcores\talgo\ttotal_s\talign_s\tovhd_s\tcomm_s\tsync_s\trecovery_s\tcomm_frac\trounds",
         &rows,
     );
     println!("\nefficiency gaps (async vs BSP): {gaps:?}");

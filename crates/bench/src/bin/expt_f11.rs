@@ -18,7 +18,10 @@ fn main() {
     ));
 
     let avail_fs = 1.4 * (1u64 << 30) as f64; // full-scale app-available/core
-    println!("application-available memory per core: {:.0} MB", avail_fs / (1 << 20) as f64);
+    println!(
+        "application-available memory per core: {:.0} MB",
+        avail_fs / (1 << 20) as f64
+    );
 
     println!(
         "{:>5} {:>7} | {:>12} {:>7} | {:>12} | {:>12} | {:>9} {:>9}",

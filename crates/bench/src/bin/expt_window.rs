@@ -25,13 +25,17 @@ fn main() {
     );
     let mut rows = Vec::new();
     for window in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 1024] {
-        let mut comm_cfg = RunConfig::default();
-        comm_cfg.cost = CostModel::comm_only();
-        comm_cfg.rpc_window = window;
+        let comm_cfg = RunConfig {
+            cost: CostModel::comm_only(),
+            rpc_window: window,
+            ..RunConfig::default()
+        };
         let comm_only = run_sim(&sim, &machine, Algorithm::Async, &comm_cfg);
 
-        let mut full_cfg = RunConfig::default();
-        full_cfg.rpc_window = window;
+        let full_cfg = RunConfig {
+            rpc_window: window,
+            ..RunConfig::default()
+        };
         let full = run_sim(&sim, &machine, Algorithm::Async, &full_cfg);
 
         println!(

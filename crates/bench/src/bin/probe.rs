@@ -50,8 +50,10 @@ fn main() {
     for nodes in [8usize, 16, 32, 64, 128, 256, 512] {
         let m = w.machine(nodes);
         let sim = w.prepare(m.nranks());
-        let mut cfg_comm = RunConfig::default();
-        cfg_comm.cost = CostModel::comm_only();
+        let cfg_comm = RunConfig {
+            cost: CostModel::comm_only(),
+            ..RunConfig::default()
+        };
         let bsp_c = run_sim(&sim, &m, Algorithm::Bsp, &cfg_comm);
         let asy_c = run_sim(&sim, &m, Algorithm::Async, &cfg_comm);
         let cfg = RunConfig::default();

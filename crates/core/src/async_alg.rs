@@ -20,6 +20,16 @@
 //! barrier or a foreign request while this rank has no outstanding
 //! requests is *synchronization*; RPC injection/servicing and
 //! pointer-based store traversal are *overhead*.
+//!
+//! Recovery: when the network is unreliable (legacy `rpc_drop_period` or a
+//! [`gnb_sim::fault::FaultPlan`] with message faults), every request
+//! attempt arms one timeout timer with exponential backoff + jitter
+//! ([`gnb_sim::backoff_delay`]); a fired timer re-issues the request up to
+//! `rpc_max_retries` times and then gives up with a structured
+//! [`RecoveryFailure`]. Retry injection, retried-request servicing,
+//! duplicate-reply handling and timer-ended idle are booked under
+//! [`TimeCategory::Recovery`], keeping the paper's four base categories
+//! fault-free-comparable.
 
 use crate::cost::CostModel;
 use crate::driver::RunConfig;
@@ -35,6 +45,11 @@ const BAR_REG: u64 = 0;
 const BAR_EXIT: u64 = 1;
 
 /// Messages of the asynchronous algorithm.
+///
+/// Requests and replies carry the request's attempt number — a
+/// per-request sequence number that lets the requester tell a retried
+/// reply from a stale duplicate and lets the owner book retry servicing
+/// as recovery work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AsyncMsg {
     /// Self-timer: process the next unit of ready work (the polling the
@@ -44,18 +59,39 @@ pub enum AsyncMsg {
     Req {
         /// The read being fetched.
         read: u32,
+        /// Attempt sequence number (0 = first issue).
+        attempt: u32,
     },
     /// Reply carrying a read (payload bytes are modelled on the wire).
     Rep {
         /// The read that arrived.
         read: u32,
+        /// Echo of the request's attempt number.
+        attempt: u32,
     },
-    /// Self-timer: retry check for an outstanding request (only armed
-    /// under failure injection).
+    /// Self-timer: retry check for one attempt of an outstanding request
+    /// (armed once per attempt whenever the network is unreliable). A
+    /// timer whose attempt is no longer current — the reply arrived, the
+    /// group was abandoned, or a newer retry superseded it — is stale: it
+    /// no-ops and is *not* re-armed, so completed requests leak no timer
+    /// events into the queue.
     Timeout {
         /// The read whose reply may have been lost.
         read: u32,
+        /// The attempt this timer guards.
+        attempt: u32,
     },
+}
+
+/// Structured outcome of a retry budget running dry: the request that gave
+/// up, after how many attempts. Surfaces as
+/// [`crate::driver::RunError::RetryBudgetExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryFailure {
+    /// The remote read that could not be fetched.
+    pub read: u32,
+    /// Total attempts made (initial send + retries).
+    pub attempts: u32,
 }
 
 /// Precomputed per-rank inputs for the async code.
@@ -182,23 +218,45 @@ pub struct AsyncRank {
     entered_exit: bool,
     /// Failure injection (0 = off): every Nth served request's reply lost.
     drop_period: u64,
-    /// Retry timeout (armed only under failure injection).
-    timeout: SimTime,
+    /// Whether the network can lose/duplicate/delay messages — arms the
+    /// per-attempt retry timers.
+    unreliable: bool,
+    /// Base retry timeout (attempt 0); later attempts back off
+    /// exponentially with jitter.
+    backoff_base: SimTime,
+    /// Backoff cap.
+    backoff_max: SimTime,
+    /// Retry budget per request (retries after the initial send).
+    max_retries: u32,
+    /// Jitter seed (from the fault config, so runs stay reproducible).
+    fault_seed: u64,
     /// Served-request counter (drives deterministic drops).
     served: u64,
     /// Per-group arrival flags (guards against duplicate replies).
     arrived: Vec<bool>,
+    /// Per-group current attempt number (stale-timer detection).
+    attempts: Vec<u32>,
+    /// First retry-budget exhaustion, if any (the run is then incomplete
+    /// and the driver reports a structured error).
+    pub failed: Option<RecoveryFailure>,
     /// Replies this rank deliberately dropped (owner side).
     pub drops_injected: u64,
     /// Requests this rank re-issued after a timeout.
     pub retries: u64,
+    /// Duplicate replies this rank received and discarded.
+    pub dup_replies: u64,
     /// Tasks completed (exposed for verification).
     pub tasks_done: u64,
 }
 
 impl AsyncRank {
     /// Creates the rank program.
-    pub fn new(plan: Arc<AsyncPlan>, rank: usize, machine: &MachineConfig, cfg: &RunConfig) -> Self {
+    pub fn new(
+        plan: Arc<AsyncPlan>,
+        rank: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+    ) -> Self {
         let ngroups = plan.per_rank[rank].groups.len();
         AsyncRank {
             plan,
@@ -215,13 +273,32 @@ impl AsyncRank {
             poll_scheduled: false,
             entered_exit: false,
             drop_period: cfg.rpc_drop_period,
-            timeout: SimTime::from_ns(cfg.rpc_timeout_ns),
+            unreliable: cfg.rpc_drop_period > 0 || cfg.fault.message_faults_possible(),
+            backoff_base: SimTime::from_ns(cfg.rpc_timeout_ns),
+            backoff_max: SimTime::from_ns(cfg.rpc_backoff_max_ns.max(cfg.rpc_timeout_ns)),
+            max_retries: cfg.rpc_max_retries,
+            fault_seed: cfg.fault.seed,
             served: 0,
             arrived: vec![false; ngroups],
+            attempts: vec![0; ngroups],
+            failed: None,
             drops_injected: 0,
             retries: 0,
+            dup_replies: 0,
             tasks_done: 0,
         }
+    }
+
+    /// Backoff-with-jitter delay before giving up on `attempt` of the
+    /// request for `read`.
+    fn retry_delay(&self, read: u32, attempt: u32) -> SimTime {
+        gnb_sim::backoff_delay(
+            self.backoff_base,
+            self.backoff_max,
+            attempt,
+            self.fault_seed ^ (self.rank as u64) << 32,
+            read as u64,
+        )
     }
 
     /// This rank's task checksum (valid any time).
@@ -246,9 +323,16 @@ impl AsyncRank {
             let (owner, read) = (g.owner as usize, g.read);
             // Injection costs CPU (GASNet-EX style AM injection).
             ctx.advance(self.rpc_inject, TimeCategory::Overhead);
-            ctx.send(owner, self.cfg_req_bytes, AsyncMsg::Req { read });
-            if self.drop_period > 0 {
-                ctx.after(self.timeout, AsyncMsg::Timeout { read });
+            ctx.send(
+                owner,
+                self.cfg_req_bytes,
+                AsyncMsg::Req { read, attempt: 0 },
+            );
+            if self.unreliable {
+                ctx.after(
+                    self.retry_delay(read, 0),
+                    AsyncMsg::Timeout { read, attempt: 0 },
+                );
             }
             self.in_flight += 1;
             self.next_req += 1;
@@ -310,10 +394,17 @@ impl Program<AsyncMsg> for AsyncRank {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, AsyncMsg>, src: usize, msg: AsyncMsg) {
         match msg {
-            AsyncMsg::Req { read } => {
+            AsyncMsg::Req { read, attempt } => {
                 self.classify_foreign_idle(ctx);
-                // Service the lookup and ship the read back.
-                ctx.advance(self.rpc_service, TimeCategory::Overhead);
+                // Service the lookup and ship the read back. Servicing a
+                // retried request is fault-induced work: recovery, not the
+                // algorithm's own overhead.
+                let cat = if attempt > 0 {
+                    TimeCategory::Recovery
+                } else {
+                    TimeCategory::Overhead
+                };
+                ctx.advance(self.rpc_service, cat);
                 self.served += 1;
                 if self.drop_period > 0 && self.served.is_multiple_of(self.drop_period) {
                     // Failure injection: the reply is lost on the wire.
@@ -321,32 +412,82 @@ impl Program<AsyncMsg> for AsyncRank {
                     return;
                 }
                 let bytes = self.plan.lengths[read as usize] as u64;
-                ctx.send(src, bytes, AsyncMsg::Rep { read });
+                ctx.send(src, bytes, AsyncMsg::Rep { read, attempt });
             }
-            AsyncMsg::Rep { read } => {
-                // Idle that a reply terminates is unhidden communication.
-                ctx.classify_idle(TimeCategory::Comm);
+            AsyncMsg::Rep { read, attempt: _ } => {
                 let gidx = self.group_index(read);
                 if self.arrived[gidx] {
-                    return; // duplicate (a retry raced the original reply)
+                    // Duplicate: a wire-duplicated copy or a retry that
+                    // raced the original reply. The AM handler still ran —
+                    // book its cost as recovery and discard. Any attempt
+                    // number is acceptable: the payload is the same read.
+                    self.dup_replies += 1;
+                    ctx.classify_idle(TimeCategory::Recovery);
+                    ctx.advance(self.rpc_service, TimeCategory::Recovery);
+                    return;
                 }
+                // Idle that a reply terminates is unhidden communication.
+                ctx.classify_idle(TimeCategory::Comm);
                 self.arrived[gidx] = true;
                 ctx.mem_alloc(self.plan.per_rank[self.rank].groups[gidx].bytes);
                 self.in_flight -= 1;
                 self.ready.push_back(gidx);
                 self.ensure_poll(ctx);
             }
-            AsyncMsg::Timeout { read } => {
+            AsyncMsg::Timeout { read, attempt } => {
+                // Idle ended by a retry timer is time lost to (suspected)
+                // faults, whatever the timer's fate below.
+                ctx.classify_idle(TimeCategory::Recovery);
                 let gidx = self.group_index(read);
-                if self.arrived[gidx] {
-                    return; // reply made it; nothing to do
+                if self.arrived[gidx] || attempt != self.attempts[gidx] {
+                    // Stale timer: the reply arrived (or a newer attempt
+                    // owns the request). No-op, and crucially do NOT
+                    // re-arm — completed requests must not keep timers
+                    // circulating in the event queue.
+                    return;
                 }
-                // Reply presumed lost: re-issue the request and re-arm.
+                if attempt >= self.max_retries {
+                    // Retry budget exhausted: give up on this read so the
+                    // run terminates with a structured error instead of
+                    // retrying (or hanging) forever. The group is
+                    // abandoned; its tasks stay undone, which the driver
+                    // turns into RunError::RetryBudgetExhausted.
+                    if self.failed.is_none() {
+                        self.failed = Some(RecoveryFailure {
+                            read,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    self.arrived[gidx] = true;
+                    self.in_flight -= 1;
+                    self.groups_done += 1;
+                    self.issue_requests(ctx);
+                    self.ensure_poll(ctx);
+                    self.maybe_finish(ctx);
+                    return;
+                }
+                // Reply presumed lost: re-issue with the next attempt
+                // number and arm a fresh (backed-off) timer for it.
+                let next = attempt + 1;
+                self.attempts[gidx] = next;
                 self.retries += 1;
                 let owner = self.plan.per_rank[self.rank].groups[gidx].owner as usize;
-                ctx.advance(self.rpc_inject, TimeCategory::Overhead);
-                ctx.send(owner, self.cfg_req_bytes, AsyncMsg::Req { read });
-                ctx.after(self.timeout, AsyncMsg::Timeout { read });
+                ctx.advance(self.rpc_inject, TimeCategory::Recovery);
+                ctx.send(
+                    owner,
+                    self.cfg_req_bytes,
+                    AsyncMsg::Req {
+                        read,
+                        attempt: next,
+                    },
+                );
+                ctx.after(
+                    self.retry_delay(read, next),
+                    AsyncMsg::Timeout {
+                        read,
+                        attempt: next,
+                    },
+                );
             }
             AsyncMsg::Poll => {
                 self.poll_scheduled = false;
@@ -427,7 +568,11 @@ mod tests {
         for nranks in [1, 2, 4, 8] {
             let (progs, _) = run(nranks, &RunConfig::default());
             let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
-            assert_eq!(done as usize, workload(nranks).total_tasks, "nranks={nranks}");
+            assert_eq!(
+                done as usize,
+                workload(nranks).total_tasks,
+                "nranks={nranks}"
+            );
         }
     }
 
@@ -443,8 +588,10 @@ mod tests {
 
     #[test]
     fn window_of_one_still_completes() {
-        let mut cfg = RunConfig::default();
-        cfg.rpc_window = 1;
+        let cfg = RunConfig {
+            rpc_window: 1,
+            ..RunConfig::default()
+        };
         let (progs, _) = run(4, &cfg);
         let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
         assert_eq!(done as usize, workload(4).total_tasks);
@@ -452,8 +599,10 @@ mod tests {
 
     #[test]
     fn memory_stays_bounded_by_window() {
-        let mut cfg = RunConfig::default();
-        cfg.rpc_window = 2;
+        let cfg = RunConfig {
+            rpc_window: 2,
+            ..RunConfig::default()
+        };
         let (_, report) = run(4, &cfg);
         let w = workload(4);
         for (r, rank) in report.ranks.iter().enumerate() {
@@ -474,10 +623,12 @@ mod tests {
         // round trips, so the wait becomes visible communication. (With
         // the default 45 µs/task overhead, sub-µs intra-node RTTs are
         // fully hidden — which is itself correct behaviour.)
-        let mut cfg = RunConfig::default();
-        cfg.cost = CostModel::comm_only();
-        cfg.overhead_ns_per_task_async = 0;
-        cfg.rpc_window = 1; // serialise round trips
+        let cfg = RunConfig {
+            cost: CostModel::comm_only(),
+            overhead_ns_per_task_async: 0,
+            rpc_window: 1, // serialise round trips
+            ..RunConfig::default()
+        };
         let (_, report) = run(4, &cfg);
         let compute: f64 = report.category_mean(TimeCategory::Compute);
         assert_eq!(compute, 0.0);
@@ -489,17 +640,24 @@ mod tests {
     fn compute_hides_communication() {
         // With compute present the same workload exposes a smaller comm
         // *fraction* than the latency-only run.
-        let mut heavy = RunConfig::default();
-        heavy.cost.cells_per_overlap_bp = 500.0;
-        heavy.cost.fp_cells = 1e6;
+        let heavy = RunConfig {
+            cost: CostModel {
+                cells_per_overlap_bp: 500.0,
+                fp_cells: 1e6,
+                ..CostModel::default()
+            },
+            ..RunConfig::default()
+        };
         let (_, rep_heavy) = run(4, &heavy);
-        let mut only = RunConfig::default();
-        only.cost = CostModel::comm_only();
-        only.overhead_ns_per_task_async = 0;
-        only.rpc_window = 1;
+        let only = RunConfig {
+            cost: CostModel::comm_only(),
+            overhead_ns_per_task_async: 0,
+            rpc_window: 1,
+            ..RunConfig::default()
+        };
         let (_, rep_only) = run(4, &only);
-        let frac_heavy = rep_heavy.category_mean(TimeCategory::Comm)
-            / rep_heavy.end_time.as_secs_f64();
+        let frac_heavy =
+            rep_heavy.category_mean(TimeCategory::Comm) / rep_heavy.end_time.as_secs_f64();
         let frac_only =
             rep_only.category_mean(TimeCategory::Comm) / rep_only.end_time.as_secs_f64();
         assert!(
@@ -520,12 +678,18 @@ mod tests {
 
     #[test]
     fn reply_loss_recovered_by_retry() {
-        let mut cfg = RunConfig::default();
-        cfg.rpc_drop_period = 3; // drop every third reply
-        cfg.rpc_timeout_ns = 50_000;
+        let cfg = RunConfig {
+            rpc_drop_period: 3, // drop every third reply
+            rpc_timeout_ns: 50_000,
+            ..RunConfig::default()
+        };
         let (progs, report) = run(4, &cfg);
         let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
-        assert_eq!(done as usize, workload(4).total_tasks, "all tasks despite drops");
+        assert_eq!(
+            done as usize,
+            workload(4).total_tasks,
+            "all tasks despite drops"
+        );
         let drops: u64 = progs.iter().map(|p| p.drops_injected).sum();
         let retries: u64 = progs.iter().map(|p| p.retries).sum();
         assert!(drops > 0, "injection must actually fire");
@@ -538,6 +702,8 @@ mod tests {
     #[test]
     fn reliable_network_never_retries() {
         let (progs, _) = run(4, &RunConfig::default());
-        assert!(progs.iter().all(|p| p.drops_injected == 0 && p.retries == 0));
+        assert!(progs
+            .iter()
+            .all(|p| p.drops_injected == 0 && p.retries == 0));
     }
 }

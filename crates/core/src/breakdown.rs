@@ -1,16 +1,21 @@
-//! Runtime breakdowns: the paper's four-way split of where time goes.
+//! Runtime breakdowns: the paper's four-way split of where time goes,
+//! plus a recovery category for runs under fault injection.
 //!
 //! Every comparative figure in the paper (Figs. 3, 4, 8, 9, 10) is a
 //! stacked breakdown of *Computation (Alignment)*, *Computation
 //! (Overhead)*, *Communication*, and *Synchronization*. This module turns a
 //! simulation report into that breakdown, with per-category cross-rank
-//! summaries and normalised fractions.
+//! summaries and normalised fractions. Fault-injected runs add a fifth
+//! component, *Recovery* — retry injection, duplicate-reply handling,
+//! straggler-induced CPU inflation, stall freezes and re-issued exchange
+//! rounds — which is identically zero in the fault-free runs behind the
+//! paper's figures.
 
 use gnb_sim::engine::{SimReport, TimeCategory};
 use gnb_sim::Summary;
 use serde::{Deserialize, Serialize};
 
-/// A four-way runtime breakdown plus the overall (virtual) runtime.
+/// A five-way runtime breakdown plus the overall (virtual) runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeBreakdown {
     /// Seed-and-extend alignment compute, per rank (seconds).
@@ -21,6 +26,9 @@ pub struct RuntimeBreakdown {
     pub comm: Summary,
     /// Synchronization (barrier / imbalance) waiting.
     pub sync: Summary,
+    /// Fault-recovery time: retries, duplicate replies, straggler excess,
+    /// stalls, re-issued rounds (zero without fault injection).
+    pub recovery: Summary,
     /// Idle time the program never classified (should be ~0).
     pub unclassified: Summary,
     /// End-to-end runtime in seconds (the max finish across ranks).
@@ -35,24 +43,29 @@ impl RuntimeBreakdown {
             overhead: report.category_summary(TimeCategory::Overhead),
             comm: report.category_summary(TimeCategory::Comm),
             sync: report.category_summary(TimeCategory::Sync),
+            recovery: report.category_summary(TimeCategory::Recovery),
             unclassified: Summary::of(
-                report.ranks.iter().map(|r| r.unclassified_idle.as_secs_f64()),
+                report
+                    .ranks
+                    .iter()
+                    .map(|r| r.unclassified_idle.as_secs_f64()),
             ),
             total: report.end_time.as_secs_f64(),
         }
     }
 
     /// Mean-per-rank fractions of the total runtime, in category order
-    /// `(compute, overhead, comm, sync)`.
-    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+    /// `(compute, overhead, comm, sync, recovery)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
         if self.total == 0.0 {
-            return (0.0, 0.0, 0.0, 0.0);
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
         }
         (
             self.compute.mean / self.total,
             self.overhead.mean / self.total,
             self.comm.mean / self.total,
             self.sync.mean / self.total,
+            self.recovery.mean / self.total,
         )
     }
 
@@ -66,24 +79,44 @@ impl RuntimeBreakdown {
         }
     }
 
+    /// Fraction of the runtime spent on fault recovery (the degradation
+    /// measure of the fault-injection experiments).
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.recovery.mean / self.total
+        }
+    }
+
     /// Compute load imbalance: max/mean of per-rank compute seconds
     /// (Fig. 5's right axis).
     pub fn compute_imbalance(&self) -> f64 {
         self.compute.imbalance()
     }
 
-    /// A TSV row: total and the four mean components (seconds).
+    /// A TSV row: total and the five mean components (seconds).
     pub fn tsv_row(&self) -> String {
         format!(
-            "{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
-            self.total, self.compute.mean, self.overhead.mean, self.comm.mean, self.sync.mean
+            "{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+            self.total,
+            self.compute.mean,
+            self.overhead.mean,
+            self.comm.mean,
+            self.sync.mean,
+            self.recovery.mean
         )
+    }
+
+    /// Header matching [`Self::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "total_s\tcompute_s\toverhead_s\tcomm_s\tsync_s\trecovery_s"
     }
 }
 
 impl std::fmt::Display for RuntimeBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (c, o, m, s) = self.fractions();
+        let (c, o, m, s, r) = self.fractions();
         write!(
             f,
             "total {:.3}s | align {:.3}s ({:.1}%) | overhead {:.3}s ({:.1}%) | comm {:.3}s ({:.1}%) | sync {:.3}s ({:.1}%)",
@@ -96,7 +129,16 @@ impl std::fmt::Display for RuntimeBreakdown {
             m * 100.0,
             self.sync.mean,
             s * 100.0,
-        )
+        )?;
+        if self.recovery.mean > 0.0 {
+            write!(
+                f,
+                " | recovery {:.3}s ({:.1}%)",
+                self.recovery.mean,
+                r * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -104,6 +146,7 @@ impl std::fmt::Display for RuntimeBreakdown {
 mod tests {
     use super::*;
     use gnb_sim::engine::RankReport;
+    use gnb_sim::fault::FaultStats;
     use gnb_sim::SimTime;
 
     fn report() -> SimReport {
@@ -114,6 +157,7 @@ mod tests {
                 SimTime::from_ns(o),
                 SimTime::from_ns(m),
                 SimTime::from_ns(s),
+                SimTime::ZERO,
             ],
             unclassified_idle: SimTime::ZERO,
             mem_peak: 0,
@@ -126,6 +170,7 @@ mod tests {
             ],
             events: 2,
             trace: None,
+            faults: FaultStats::default(),
         }
     }
 
@@ -136,15 +181,31 @@ mod tests {
         assert!((b.compute.mean - 2.95).abs() < 1e-9);
         assert!((b.compute.max - 3.9).abs() < 1e-9);
         assert!((b.sync.mean - 0.75).abs() < 1e-9);
+        assert_eq!(b.recovery.mean, 0.0);
     }
 
     #[test]
     fn fractions_sum_sensible() {
         let b = RuntimeBreakdown::from_report(&report());
-        let (c, o, m, s) = b.fractions();
-        let sum = c + o + m + s;
+        let (c, o, m, s, r) = b.fractions();
+        let sum = c + o + m + s + r;
         assert!(sum > 0.9 && sum <= 1.0 + 1e-9, "sum {sum}");
         assert!((b.comm_fraction() - 0.05).abs() < 1e-9);
+        assert_eq!(b.recovery_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recovery_extracted_and_shown() {
+        let mut rep = report();
+        rep.ranks[0].ledger[4] = SimTime::from_ns(800_000_000);
+        let b = RuntimeBreakdown::from_report(&rep);
+        assert!((b.recovery.mean - 0.4).abs() < 1e-9);
+        assert!((b.recovery_fraction() - 0.1).abs() < 1e-9);
+        let shown = format!("{b}");
+        assert!(shown.contains("recovery"), "{shown}");
+        // Fault-free display stays in the paper's four-way format.
+        let clean = format!("{}", RuntimeBreakdown::from_report(&report()));
+        assert!(!clean.contains("recovery"), "{clean}");
     }
 
     #[test]
@@ -160,16 +221,22 @@ mod tests {
             ranks: vec![],
             events: 0,
             trace: None,
+            faults: FaultStats::default(),
         };
         let b = RuntimeBreakdown::from_report(&r);
-        assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0, 0.0));
         assert_eq!(b.comm_fraction(), 0.0);
+        assert_eq!(b.recovery_fraction(), 0.0);
     }
 
     #[test]
-    fn tsv_row_has_five_fields() {
+    fn tsv_row_matches_header() {
         let b = RuntimeBreakdown::from_report(&report());
-        assert_eq!(b.tsv_row().split('\t').count(), 5);
+        assert_eq!(b.tsv_row().split('\t').count(), 6);
+        assert_eq!(
+            RuntimeBreakdown::tsv_header().split('\t').count(),
+            b.tsv_row().split('\t').count()
+        );
         let shown = format!("{b}");
         assert!(shown.contains("total"));
     }

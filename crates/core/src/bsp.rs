@@ -19,6 +19,7 @@ use crate::machine::MachineConfig;
 use crate::workload::{task_checksum, SimWorkload};
 use gnb_sim::coll::{alltoallv_time, CollParams, ExchangeLoad};
 use gnb_sim::engine::{Ctx, Program, TimeCategory};
+use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
 use std::sync::Arc;
 
@@ -87,8 +88,7 @@ pub fn plan_bsp(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> Bs
         .iter()
         .map(|rd| {
             let static_bytes = rd.partition_bytes + rd.total_tasks() as u64 * TASK_ENTRY_BYTES;
-            let avail =
-                machine.mem_per_core.saturating_sub(static_bytes) as f64 / overhead_factor;
+            let avail = machine.mem_per_core.saturating_sub(static_bytes) as f64 / overhead_factor;
             // Never let a degenerate configuration zero the budget: at
             // least one maximal read must fit, or no progress is possible.
             (avail as u64).max(w.lengths.iter().copied().max().unwrap_or(1) as u64)
@@ -150,16 +150,15 @@ pub fn plan_bsp(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> Bs
             send_per_round[round][g.owner as usize] += g.bytes;
             for (t, ov) in &g.tasks {
                 let cells = cost.cells(t, *ov);
-                plan.compute[round] +=
-                    SimTime::from_secs_f64(machine.compute_secs(cells) * noise);
+                plan.compute[round] += SimTime::from_secs_f64(machine.compute_secs(cells) * noise);
                 plan.overhead[round] += SimTime::from_ns(cfg.overhead_ns_per_task_bsp);
                 plan.tasks[round] += 1;
                 ids.push((t.a, t.b));
             }
         }
         peers_per_round_max[round] = peers_per_round_max[round].max(round_owners.len());
-        for r in 0..rounds {
-            recv_per_round_max[r] = recv_per_round_max[r].max(plan.recv_bytes[r]);
+        for (r, recv_max) in recv_per_round_max.iter_mut().enumerate().take(rounds) {
+            *recv_max = (*recv_max).max(plan.recv_bytes[r]);
             plan.alloc_bytes[r] =
                 (plan.recv_bytes[r] as f64 * cfg.bsp_buffer_factor.max(1.0)) as u64;
         }
@@ -197,16 +196,40 @@ pub fn plan_bsp(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> Bs
 pub struct BspRank {
     plan: Arc<BspPlan>,
     rank: usize,
+    /// Fault plan consulted for exchange-round losses (an inactive plan
+    /// never fires).
+    fault: Arc<FaultPlan>,
+    /// Re-issue budget per round.
+    max_retries: u32,
+    /// Exchange rounds this rank re-executed after a detected loss.
+    pub reissued_rounds: u64,
+    /// First round whose re-issue budget ran dry: `(round, attempts)`.
+    pub failed: Option<(u64, u32)>,
     /// Tasks completed (exposed for verification).
     pub tasks_done: u64,
 }
 
 impl BspRank {
-    /// Creates the rank program.
+    /// Creates the rank program on a reliable machine.
     pub fn new(plan: Arc<BspPlan>, rank: usize) -> BspRank {
+        BspRank::with_faults(plan, rank, Arc::new(FaultPlan::default()), 0)
+    }
+
+    /// Creates the rank program under a fault plan with a per-round
+    /// exchange re-issue budget.
+    pub fn with_faults(
+        plan: Arc<BspPlan>,
+        rank: usize,
+        fault: Arc<FaultPlan>,
+        max_retries: u32,
+    ) -> BspRank {
         BspRank {
             plan,
             rank,
+            fault,
+            max_retries,
+            reissued_rounds: 0,
+            failed: None,
             tasks_done: 0,
         }
     }
@@ -239,6 +262,26 @@ impl Program<BspMsg> for BspRank {
         let me = &self.plan.per_rank[self.rank];
         // The exchange itself: visible communication.
         ctx.advance(self.plan.round_comm[round], TimeCategory::Comm);
+        // Superstep-level detect-and-reissue: the fault plan's verdict on
+        // an exchange attempt is rank-independent, so every rank detects
+        // the same loss (a checksum mismatch over the received buffers, in
+        // a real implementation) and re-executes the same exchange —
+        // booked as recovery — without extra coordination. If the budget
+        // runs dry the round's data never arrives: the rank skips its
+        // compute and the driver reports a structured error.
+        let mut attempt = 0u32;
+        while self.fault.bsp_round_lost(id, attempt) {
+            if attempt >= self.max_retries {
+                if self.failed.is_none() {
+                    self.failed = Some((id, attempt + 1));
+                }
+                ctx.barrier_enter(id + 1);
+                return;
+            }
+            attempt += 1;
+            self.reissued_rounds += 1;
+            ctx.advance(self.plan.round_comm[round], TimeCategory::Recovery);
+        }
         ctx.mem_alloc(me.alloc_bytes[round]);
         // Compute everything associated with the received reads.
         ctx.advance(me.overhead[round], TimeCategory::Overhead);
@@ -285,7 +328,11 @@ mod tests {
         assert_eq!(plan.rounds, 1);
         assert_eq!(plan.round_comm.len(), 1);
         // All tasks planned exactly once.
-        let planned: u64 = plan.per_rank.iter().map(|p| p.tasks.iter().sum::<u64>()).sum();
+        let planned: u64 = plan
+            .per_rank
+            .iter()
+            .map(|p| p.tasks.iter().sum::<u64>())
+            .sum();
         assert_eq!(planned as usize, w.total_tasks);
     }
 
@@ -306,15 +353,21 @@ mod tests {
             }
         }
         // Tasks still conserved.
-        let planned: u64 = plan.per_rank.iter().map(|p| p.tasks.iter().sum::<u64>()).sum();
+        let planned: u64 = plan
+            .per_rank
+            .iter()
+            .map(|p| p.tasks.iter().sum::<u64>())
+            .sum();
         assert_eq!(planned as usize, w.total_tasks);
     }
 
     #[test]
     fn comm_only_mode_zeroes_compute() {
         let w = workload(4);
-        let mut cfg = RunConfig::default();
-        cfg.cost = CostModel::comm_only();
+        let cfg = RunConfig {
+            cost: CostModel::comm_only(),
+            ..RunConfig::default()
+        };
         let plan = plan_bsp(&w, &machine(), &cfg);
         for p in &plan.per_rank {
             for c in &p.compute {

@@ -109,8 +109,10 @@ mod tests {
 
     #[test]
     fn true_overlap_scales_linearly() {
-        let mut m = CostModel::default();
-        m.jitter = 0.0;
+        let m = CostModel {
+            jitter: 0.0,
+            ..CostModel::default()
+        };
         let c1 = m.cells(&task(0, 1), 1000);
         let c2 = m.cells(&task(0, 1), 2000);
         assert!((c2 - c1 - 1000.0 * m.cells_per_overlap_bp).abs() < 1e-9);
@@ -118,8 +120,10 @@ mod tests {
 
     #[test]
     fn fp_is_cheap() {
-        let mut m = CostModel::default();
-        m.jitter = 0.0;
+        let m = CostModel {
+            jitter: 0.0,
+            ..CostModel::default()
+        };
         let fp = m.cells(&task(0, 1), 0);
         let long = m.cells(&task(0, 1), 10_000);
         assert!(long > fp * 50.0, "true {long} vs fp {fp}");

@@ -8,6 +8,7 @@ use crate::cost::CostModel;
 use crate::machine::MachineConfig;
 use crate::workload::SimWorkload;
 use gnb_sim::engine::SimReport;
+use gnb_sim::fault::{FaultConfig, FaultStats};
 use gnb_sim::Engine;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -59,9 +60,19 @@ pub struct RunConfig {
     /// assumptions about the network"; positive values stress the
     /// requester's timeout/retry path).
     pub rpc_drop_period: u64,
-    /// Requester-side retry timeout for outstanding RPCs, ns. Only armed
-    /// when `rpc_drop_period > 0`.
+    /// Requester-side base retry timeout for outstanding RPCs, ns. Armed
+    /// whenever the network is unreliable (`rpc_drop_period > 0` or
+    /// message faults in [`Self::fault`]); later attempts back off
+    /// exponentially with deterministic jitter.
     pub rpc_timeout_ns: u64,
+    /// Backoff cap, ns: no retry waits longer than this (plus jitter).
+    pub rpc_backoff_max_ns: u64,
+    /// Retry budget per request / re-issue budget per BSP round. When a
+    /// request exhausts it the run ends with
+    /// [`RunError::RetryBudgetExhausted`] instead of hanging.
+    pub rpc_max_retries: u32,
+    /// Deterministic fault-injection recipe (inactive by default).
+    pub fault: FaultConfig,
     /// Memory-overhead factor of the BSP exchange: a round moving R bytes
     /// of reads needs ≈ `factor × R` of memory (send-side staging, receive
     /// buffers, MPI internals, unpacking copies — the paper's "challenge
@@ -105,12 +116,82 @@ impl Default for RunConfig {
             overhead_ns_per_task_async: 45_000,
             os_noise: 0.0,
             rpc_drop_period: 0,
-            rpc_timeout_ns: 20_000_000, // 20 ms
+            rpc_timeout_ns: 20_000_000,      // 20 ms base
+            rpc_backoff_max_ns: 320_000_000, // 16x the base
+            rpc_max_retries: 8,
+            fault: FaultConfig::default(),
             bsp_exchange_overhead: 3.5,
             bsp_buffer_factor: 2.0,
             trace_capacity: 0,
         }
     }
+}
+
+/// Why a simulated run could not complete. Recoverable faults never
+/// surface here; this is the structured "gave up" outcome that replaces
+/// hanging (or silently corrupting results) when recovery budgets run dry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A request (async: remote read; BSP: exchange round) exhausted its
+    /// retry budget.
+    RetryBudgetExhausted {
+        /// The coordination code that gave up.
+        algorithm: Algorithm,
+        /// The rank that gave up first.
+        rank: usize,
+        /// What was being retried: the read id (async) or round (BSP).
+        key: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The run terminated but completed the wrong number of tasks (a
+    /// coordination bug, surfaced instead of panicking in `try_run_sim`).
+    TaskMismatch {
+        /// The coordination code that ran.
+        algorithm: Algorithm,
+        /// Tasks completed.
+        done: u64,
+        /// Tasks expected.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::RetryBudgetExhausted {
+                algorithm,
+                rank,
+                key,
+                attempts,
+            } => write!(
+                f,
+                "{algorithm}: rank {rank} exhausted its retry budget after \
+                 {attempts} attempts (key {key})"
+            ),
+            RunError::TaskMismatch {
+                algorithm,
+                done,
+                expected,
+            } => write!(f, "{algorithm}: completed {done} of {expected} tasks"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Recovery-machinery counters aggregated across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Requests re-issued after a timeout (async).
+    pub retries: u64,
+    /// Duplicate replies received and discarded (async).
+    pub dup_replies: u64,
+    /// Replies deliberately dropped by the legacy owner-side injector.
+    pub drops_injected: u64,
+    /// Exchange rounds re-executed after a detected loss (BSP), summed
+    /// over ranks.
+    pub reissued_rounds: u64,
 }
 
 /// Everything measured from one run.
@@ -134,6 +215,10 @@ pub struct RunResult {
     pub rounds: usize,
     /// DES events processed.
     pub events: u64,
+    /// Recovery-machinery counters (all zero on a reliable network).
+    pub recovery: RecoveryStats,
+    /// Injected-fault counters from the engine.
+    pub faults: FaultStats,
     /// The raw simulation report.
     pub report: SimReport,
 }
@@ -148,61 +233,117 @@ impl RunResult {
 /// Runs `algo` over the fixed `workload` on `machine`.
 ///
 /// # Panics
-/// Panics if the completed task count does not match the workload — either
-/// coordination code dropping or duplicating a task is a bug, never a
-/// measurement.
+/// Panics on any [`RunError`] — for the reliable configurations behind the
+/// paper's figures an incomplete run is a bug, never a measurement. Use
+/// [`try_run_sim`] for fault-injection experiments where retry-budget
+/// exhaustion is a legitimate outcome.
 pub fn run_sim(
     workload: &SimWorkload,
     machine: &MachineConfig,
     algo: Algorithm,
     cfg: &RunConfig,
 ) -> RunResult {
+    try_run_sim(workload, machine, algo, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs `algo` over the fixed `workload` on `machine`, returning a
+/// structured [`RunError`] when the run could not complete (retry budgets
+/// exhausted under fault injection, or a task-accounting bug).
+pub fn try_run_sim(
+    workload: &SimWorkload,
+    machine: &MachineConfig,
+    algo: Algorithm,
+    cfg: &RunConfig,
+) -> Result<RunResult, RunError> {
     let nranks = machine.nranks();
     assert_eq!(
         workload.nranks, nranks,
         "workload prepared for {} ranks, machine has {}",
         workload.nranks, nranks
     );
-    let (report, tasks_done, checksum, rounds) = match algo {
+    let fault_plan = cfg.fault.plan(nranks);
+    fn mk_engine<M>(
+        nranks: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        fault_plan: &gnb_sim::FaultPlan,
+    ) -> Engine<M> {
+        let mut engine = Engine::new(nranks, machine.net);
+        if cfg.trace_capacity > 0 {
+            engine = engine.with_trace(cfg.trace_capacity);
+        }
+        if cfg.fault.is_active() {
+            engine = engine.with_faults(fault_plan.clone());
+        }
+        engine
+    }
+    let (report, tasks_done, checksum, rounds, recovery, first_failure) = match algo {
         Algorithm::Bsp => {
             let plan = Arc::new(plan_bsp(workload, machine, cfg));
+            let fp = Arc::new(fault_plan.clone());
             let mut progs: Vec<BspRank> = (0..nranks)
-                .map(|r| BspRank::new(Arc::clone(&plan), r))
+                .map(|r| {
+                    BspRank::with_faults(Arc::clone(&plan), r, Arc::clone(&fp), cfg.rpc_max_retries)
+                })
                 .collect();
-            let mut engine = Engine::new(nranks, machine.net);
-            if cfg.trace_capacity > 0 {
-                engine = engine.with_trace(cfg.trace_capacity);
-            }
-            let report = engine.run(&mut progs);
+            let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
             let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
             let sum = progs
                 .iter()
                 .fold(0u64, |acc, p| acc.wrapping_add(p.checksum()));
-            (report, done, sum, plan.rounds)
+            let recovery = RecoveryStats {
+                reissued_rounds: progs.iter().map(|p| p.reissued_rounds).sum(),
+                ..RecoveryStats::default()
+            };
+            let failure = progs.iter().enumerate().find_map(|(r, p)| {
+                p.failed
+                    .map(|(round, attempts)| RunError::RetryBudgetExhausted {
+                        algorithm: algo,
+                        rank: r,
+                        key: round,
+                        attempts,
+                    })
+            });
+            (report, done, sum, plan.rounds, recovery, failure)
         }
         Algorithm::Async => {
             let plan = Arc::new(plan_async(workload, machine, cfg));
             let mut progs: Vec<AsyncRank> = (0..nranks)
                 .map(|r| AsyncRank::new(Arc::clone(&plan), r, machine, cfg))
                 .collect();
-            let mut engine = Engine::new(nranks, machine.net);
-            if cfg.trace_capacity > 0 {
-                engine = engine.with_trace(cfg.trace_capacity);
-            }
-            let report = engine.run(&mut progs);
+            let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
             let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
             let sum = progs
                 .iter()
                 .fold(0u64, |acc, p| acc.wrapping_add(p.checksum()));
-            (report, done, sum, 1)
+            let recovery = RecoveryStats {
+                retries: progs.iter().map(|p| p.retries).sum(),
+                dup_replies: progs.iter().map(|p| p.dup_replies).sum(),
+                drops_injected: progs.iter().map(|p| p.drops_injected).sum(),
+                ..RecoveryStats::default()
+            };
+            let failure = progs.iter().enumerate().find_map(|(r, p)| {
+                p.failed.map(|f| RunError::RetryBudgetExhausted {
+                    algorithm: algo,
+                    rank: r,
+                    key: f.read as u64,
+                    attempts: f.attempts,
+                })
+            });
+            (report, done, sum, 1, recovery, failure)
         }
     };
-    assert_eq!(
-        tasks_done as usize, workload.total_tasks,
-        "{algo}: completed {tasks_done} of {} tasks",
-        workload.total_tasks
-    );
-    RunResult {
+    if let Some(err) = first_failure {
+        return Err(err);
+    }
+    if tasks_done as usize != workload.total_tasks {
+        return Err(RunError::TaskMismatch {
+            algorithm: algo,
+            done: tasks_done,
+            expected: workload.total_tasks as u64,
+        });
+    }
+    Ok(RunResult {
         algorithm: algo,
         nranks,
         breakdown: RuntimeBreakdown::from_report(&report),
@@ -212,8 +353,10 @@ pub fn run_sim(
         mem_peaks: report.ranks.iter().map(|r| r.mem_peak).collect(),
         rounds,
         events: report.events,
+        recovery,
+        faults: report.faults,
         report,
-    }
+    })
 }
 
 #[cfg(test)]

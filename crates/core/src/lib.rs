@@ -51,7 +51,7 @@ pub mod workload;
 
 pub use breakdown::RuntimeBreakdown;
 pub use cost::CostModel;
-pub use driver::{run_sim, Algorithm, RunConfig, RunResult};
+pub use driver::{run_sim, try_run_sim, Algorithm, RecoveryStats, RunConfig, RunError, RunResult};
 pub use machine::MachineConfig;
 pub use pipeline::{run_pipeline, PipelineParams, PipelineResult};
 pub use workload::SimWorkload;

@@ -68,10 +68,7 @@ mod tests {
         let input: u64 = 1_148_839 * 11_060; // reads x mean length
         let m = PreludeModel::default();
         let min = m.min_nodes(input, &knl());
-        assert!(
-            min > 4 && min <= 8,
-            "paper: (4, 8] nodes; model says {min}"
-        );
+        assert!(min > 4 && min <= 8, "paper: (4, 8] nodes; model says {min}");
     }
 
     #[test]

@@ -94,7 +94,13 @@ impl SimWorkload {
         overlap_len: &[u32],
         nranks: usize,
     ) -> SimWorkload {
-        Self::prepare_with(lengths, tasks, overlap_len, nranks, BalanceStrategy::TaskCount)
+        Self::prepare_with(
+            lengths,
+            tasks,
+            overlap_len,
+            nranks,
+            BalanceStrategy::TaskCount,
+        )
     }
 
     /// As [`SimWorkload::prepare`], with an explicit balancing strategy.

@@ -78,7 +78,7 @@ impl ErrorModel {
         let mut out = Vec::with_capacity(fragment.len() + fragment.len() / 8);
         for &b in fragment {
             if rng.gen::<f64>() < self.ins_rate {
-                out.push(BASES[rng.gen_range(0..4)]);
+                out.push(BASES[rng.gen_range(0..4usize)]);
             }
             let r: f64 = rng.gen();
             if r < self.del_rate {

@@ -85,8 +85,7 @@ pub fn read_fastq<R: Read>(reader: R) -> io::Result<ReadSet> {
         strand: Strand::Forward,
     };
     let mut lines = BufReader::new(reader).lines();
-    loop {
-        let Some(header) = lines.next() else { break };
+    while let Some(header) = lines.next() {
         let header = header?;
         if header.trim_end().is_empty() {
             continue; // tolerate trailing blank lines
@@ -97,21 +96,21 @@ pub fn read_fastq<R: Read>(reader: R) -> io::Result<ReadSet> {
                 format!("FASTQ record must start with '@', got {header:?}"),
             ));
         }
-        let seq = lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated FASTQ: no sequence"))??;
-        let plus = lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated FASTQ: no '+'"))??;
+        let seq = lines.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "truncated FASTQ: no sequence")
+        })??;
+        let plus = lines.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "truncated FASTQ: no '+'")
+        })??;
         if !plus.starts_with('+') {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "FASTQ separator line must start with '+'",
             ));
         }
-        let qual = lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated FASTQ: no quality"))??;
+        let qual = lines.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "truncated FASTQ: no quality")
+        })??;
         if qual.trim_end().len() != seq.trim_end().len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -200,8 +199,14 @@ mod tests {
     fn fastq_errors() {
         assert!(read_fastq(&b"ACGT\n"[..]).is_err(), "missing @");
         assert!(read_fastq(&b"@r\nACGT\n"[..]).is_err(), "truncated");
-        assert!(read_fastq(&b"@r\nACGT\nIIII\nIIII\n"[..]).is_err(), "bad separator");
-        assert!(read_fastq(&b"@r\nACGT\n+\nIII\n"[..]).is_err(), "quality length");
+        assert!(
+            read_fastq(&b"@r\nACGT\nIIII\nIIII\n"[..]).is_err(),
+            "bad separator"
+        );
+        assert!(
+            read_fastq(&b"@r\nACGT\n+\nIII\n"[..]).is_err(),
+            "quality length"
+        );
     }
 
     #[test]

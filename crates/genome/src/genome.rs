@@ -128,13 +128,13 @@ impl Genome {
 }
 
 fn random_bases(rng: &mut StdRng, n: usize) -> Vec<u8> {
-    (0..n).map(|_| BASES[rng.gen_range(0..4)]).collect()
+    (0..n).map(|_| BASES[rng.gen_range(0..4usize)]).collect()
 }
 
 /// Substitutes `b` with a uniformly random *different* base.
 pub(crate) fn mutate_base<R: Rng + ?Sized>(rng: &mut R, b: u8) -> u8 {
     loop {
-        let c = BASES[rng.gen_range(0..4)];
+        let c = BASES[rng.gen_range(0..4usize)];
         if c != b {
             return c;
         }

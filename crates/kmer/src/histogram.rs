@@ -57,7 +57,9 @@ impl Histogram {
     /// dataset this "coverage peak" sits near `d·(1-e)^k`. Returns `None`
     /// if no k-mer occurs more than once.
     pub fn coverage_peak(&self) -> Option<usize> {
-        (2..self.bins.len()).max_by_key(|&c| self.bins[c]).filter(|&c| self.bins[c] > 0)
+        (2..self.bins.len())
+            .max_by_key(|&c| self.bins[c])
+            .filter(|&c| self.bins[c] > 0)
     }
 }
 

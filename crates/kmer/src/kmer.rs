@@ -53,7 +53,7 @@ impl Kmer {
     pub fn revcomp(self, k: usize) -> Kmer {
         debug_assert!((1..=MAX_K).contains(&k));
         let mut v = !self.0; // complement every 2-bit code (3 - c == !c & 3)
-        // Reverse 2-bit groups within the u64.
+                             // Reverse 2-bit groups within the u64.
         v = ((v >> 2) & 0x3333_3333_3333_3333) | ((v & 0x3333_3333_3333_3333) << 2);
         v = ((v >> 4) & 0x0F0F_0F0F_0F0F_0F0F) | ((v & 0x0F0F_0F0F_0F0F_0F0F) << 4);
         v = v.swap_bytes();
@@ -98,7 +98,11 @@ impl<'a> KmerIter<'a> {
     /// Creates an iterator over the canonical k-mers of `seq`.
     pub fn new(seq: &'a [u8], k: usize) -> Self {
         assert!((1..=MAX_K).contains(&k), "k must be in 1..=32, got {k}");
-        let mask = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        let mask = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
         KmerIter {
             seq,
             k,
@@ -138,7 +142,14 @@ impl<'a> Iterator for KmerIter<'a> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let remaining = self.seq.len() - self.pos;
-        (0, Some(remaining.saturating_add(self.filled).saturating_sub(self.k - 1)))
+        (
+            0,
+            Some(
+                remaining
+                    .saturating_add(self.filled)
+                    .saturating_sub(self.k - 1),
+            ),
+        )
     }
 }
 

@@ -38,6 +38,6 @@ pub mod minimizer;
 pub use bella::BellaModel;
 pub use count::{count_kmers, count_kmers_serial, KmerCounts};
 pub use histogram::Histogram;
-pub use index::SeedIndex;
 pub use index::Posting;
+pub use index::SeedIndex;
 pub use kmer::{kmers_of, kmers_oriented, Kmer, KmerIter};

@@ -192,9 +192,7 @@ mod tests {
     #[test]
     fn n_runs_handled() {
         let mut s = rand_seq(9, 200);
-        for i in 90..110 {
-            s[i] = b'N';
-        }
+        s[90..110].fill(b'N');
         let ms = minimizers(&s, 11, 5);
         assert!(!ms.is_empty());
         for m in &ms {

@@ -35,7 +35,7 @@ impl Partition {
 
         let mut r = 0usize; // current read
         let mut acc_before = 0u64; // bytes assigned to previous ranks
-        for p in 0..nranks {
+        for (p, rank_bytes) in bytes.iter_mut().enumerate() {
             let begin = r as u32;
             // Ideal cumulative boundary after rank p.
             let target = total * (p as u64 + 1) / nranks as u64;
@@ -69,7 +69,7 @@ impl Partition {
                 }
             }
             acc_before += here;
-            bytes[p] = here;
+            *rank_bytes = here;
             ranges.push((begin, r as u32));
         }
         // Any trailing unassigned reads belong to the last rank.

@@ -132,7 +132,12 @@ impl RankWork {
 
     /// Total task count (local + remote).
     pub fn total_tasks(&self) -> usize {
-        self.local.len() + self.remote_groups.iter().map(|(_, v)| v.len()).sum::<usize>()
+        self.local.len()
+            + self
+                .remote_groups
+                .iter()
+                .map(|(_, v)| v.len())
+                .sum::<usize>()
     }
 }
 

@@ -129,6 +129,9 @@ impl TaskStore for FlatTaskStore {
 /// of individually heap-allocated task nodes.
 #[derive(Debug, Default)]
 pub struct PointerTaskStore {
+    // The Box per task is the point: Fig. 13 measures the cost of
+    // pointer-chasing layouts, so every node is a separate allocation.
+    #[allow(clippy::vec_box)]
     groups: std::collections::BTreeMap<u32, Vec<Box<Candidate>>>,
 }
 

@@ -12,22 +12,6 @@ fn lengths(max_reads: usize) -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(50usize..5000, 1..max_reads)
 }
 
-fn tasks_for(nreads: usize, max_tasks: usize) -> impl Strategy<Value = Vec<Candidate>> {
-    let n = nreads as u32;
-    proptest::collection::vec((0..n, 0..n, any::<bool>()), 0..max_tasks).prop_map(move |raw| {
-        raw.into_iter()
-            .filter(|(a, b, _)| a != b)
-            .map(|(x, y, s)| Candidate {
-                a: x.min(y),
-                b: x.max(y),
-                a_pos: 0,
-                b_pos: 0,
-                same_strand: s,
-            })
-            .collect()
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(150))]
 
@@ -156,6 +140,7 @@ proptest! {
             .collect();
         let flat = FlatTaskStore::from_groups(groups.clone());
         let ptr = PointerTaskStore::from_groups(groups.clone());
+        #[allow(clippy::type_complexity)]
         let collect = |s: &dyn Fn(&mut dyn FnMut(u32, &Candidate))| {
             let mut out = Vec::new();
             s(&mut |k, c| out.push((k, *c)));

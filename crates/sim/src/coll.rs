@@ -114,8 +114,8 @@ pub fn alltoallv_time(p: &CollParams, load: &ExchangeLoad) -> SimTime {
         // Full-scale equivalents: both volume and peer count grow with the
         // workload; the peer count saturates at nranks-1.
         let full_bytes = bytes as f64 * load.volume_scale;
-        let full_peers = ((peers as f64 * load.volume_scale) as usize)
-            .clamp(1, load.nranks - 1) as f64;
+        let full_peers =
+            ((peers as f64 * load.volume_scale) as usize).clamp(1, load.nranks - 1) as f64;
         let eff = if bytes == 0 {
             1.0 // zero-byte exchange: only latency terms apply
         } else {

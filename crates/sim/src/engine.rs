@@ -22,6 +22,7 @@
 
 use crate::coll::barrier_time;
 use crate::event::{EventPayload, EventQueue};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::mem::MemTracker;
 use crate::net::{NetParams, Network};
 use crate::stats::Summary;
@@ -30,7 +31,7 @@ use crate::trace::Trace;
 use std::collections::HashMap;
 
 /// Time ledger categories, matching the paper's runtime breakdowns
-/// (Figs. 3, 4, 8–10).
+/// (Figs. 3, 4, 8–10) plus fault-recovery accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimeCategory {
     /// Seed-and-extend alignment work ("Computation (Alignment)").
@@ -42,10 +43,14 @@ pub enum TimeCategory {
     Comm = 2,
     /// Barrier / load-imbalance waiting ("Synchronization").
     Sync = 3,
+    /// Fault-recovery work: retry injection, duplicate handling,
+    /// straggler-induced CPU inflation, stall freezes, re-issued
+    /// exchange rounds. Zero in fault-free runs.
+    Recovery = 4,
 }
 
 /// Number of ledger categories.
-pub const CATEGORIES: usize = 4;
+pub const CATEGORIES: usize = 5;
 
 /// An SPMD rank program.
 pub trait Program<M> {
@@ -76,6 +81,14 @@ struct EngineCore<M> {
     finish: Vec<SimTime>,
     events_processed: u64,
     trace: Option<Trace>,
+    /// Fault-injection plan (None = reliable machine).
+    fault: Option<FaultPlan>,
+    /// Global send sequence number (drives per-message fault decisions).
+    msg_seq: u64,
+    /// Per-destination send counters (drive scheduled drops).
+    dst_counts: Vec<u64>,
+    /// Injected-fault counters.
+    fault_stats: FaultStats,
 }
 
 /// Handler context: the engine API available to a running rank.
@@ -105,12 +118,35 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Consumes `dt` of CPU, booked under `cat`.
+    ///
+    /// If this rank sits in a straggler window, CPU-bound categories
+    /// (compute and overhead) are inflated by the window's slowdown
+    /// factor; the *excess* is booked under [`TimeCategory::Recovery`], so
+    /// the base categories always report the fault-free cost.
     pub fn advance(&mut self, dt: SimTime, cat: TimeCategory) {
         let start = self.now;
         self.now += dt;
         self.core.ledger[self.rank][cat as usize] += dt;
         if let Some(trace) = &mut self.core.trace {
             trace.record(self.rank, start, self.now, cat);
+        }
+        let cpu_bound = matches!(cat, TimeCategory::Compute | TimeCategory::Overhead);
+        if cpu_bound && dt > SimTime::ZERO {
+            let factor = self
+                .core
+                .fault
+                .as_ref()
+                .map_or(1.0, |f| f.compute_factor(self.rank, start));
+            if factor > 1.0 {
+                let excess = SimTime::from_secs_f64(dt.as_secs_f64() * (factor - 1.0));
+                let slow_start = self.now;
+                self.now += excess;
+                self.core.ledger[self.rank][TimeCategory::Recovery as usize] += excess;
+                self.core.fault_stats.straggler_excess += excess;
+                if let Some(trace) = &mut self.core.trace {
+                    trace.record(self.rank, slow_start, self.now, TimeCategory::Recovery);
+                }
+            }
         }
     }
 
@@ -129,11 +165,52 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Sends `msg` with a `bytes`-sized payload to `dst` through the
     /// network model. Delivery time includes NIC queueing at both ends.
-    pub fn send(&mut self, dst: usize, bytes: u64, msg: M) {
+    ///
+    /// Under a [`FaultPlan`] the message may be dropped (the sender still
+    /// pays TX injection — the loss happens on the wire), duplicated (a
+    /// retransmission copy arrives separately) or delayed.
+    pub fn send(&mut self, dst: usize, bytes: u64, msg: M)
+    where
+        M: Clone,
+    {
+        self.core.msg_seq += 1;
+        self.core.dst_counts[dst] += 1;
+        let fate = self
+            .core
+            .fault
+            .as_ref()
+            .map(|f| f.message_fate(self.core.msg_seq, dst, self.core.dst_counts[dst]))
+            .unwrap_or_default();
+        if fate.dropped {
+            // Lost on the wire: the source NIC was still occupied.
+            self.core.net.tx_time(self.now, self.rank, dst, bytes);
+            self.core.fault_stats.msgs_dropped += 1;
+            return;
+        }
+        if fate.duplicated {
+            self.core.fault_stats.msgs_duplicated += 1;
+            let dup_arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
+            self.core.queue.push(
+                dup_arrival + fate.extra_delay,
+                dst,
+                EventPayload::Message {
+                    src: self.rank,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        if fate.extra_delay > SimTime::ZERO {
+            self.core.fault_stats.msgs_delayed += 1;
+        }
         let arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
-        self.core
-            .queue
-            .push(arrival, dst, EventPayload::Message { src: self.rank, msg });
+        self.core.queue.push(
+            arrival + fate.extra_delay,
+            dst,
+            EventPayload::Message {
+                src: self.rank,
+                msg,
+            },
+        );
     }
 
     /// Schedules `msg` back to this rank after `delay` (a self-timer; no
@@ -165,11 +242,12 @@ impl<'a, M> Ctx<'a, M> {
         );
         st.max_entry = st.max_entry.max(self.now);
         if st.entered == nranks {
-            let release =
-                st.max_entry + barrier_time(self.core.net.params.alpha_ns, nranks);
+            let release = st.max_entry + barrier_time(self.core.net.params.alpha_ns, nranks);
             self.core.barriers.remove(&id);
             for r in 0..nranks {
-                self.core.queue.push(release, r, EventPayload::BarrierDone { id });
+                self.core
+                    .queue
+                    .push(release, r, EventPayload::BarrierDone { id });
             }
         }
     }
@@ -214,6 +292,8 @@ pub struct SimReport {
     pub events: u64,
     /// Busy-span trace, if tracing was enabled.
     pub trace: Option<Trace>,
+    /// Injected-fault counters (all zero on a reliable machine).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -259,6 +339,10 @@ impl<M> Engine<M> {
                 finish: vec![SimTime::ZERO; nranks],
                 events_processed: 0,
                 trace: None,
+                fault: None,
+                msg_seq: 0,
+                dst_counts: vec![0; nranks],
+                fault_stats: FaultStats::default(),
             },
         }
     }
@@ -267,6 +351,13 @@ impl<M> Engine<M> {
     /// [`crate::trace::Trace`]).
     pub fn with_trace(mut self, capacity: usize) -> Engine<M> {
         self.core.trace = Some(Trace::new(capacity));
+        self
+    }
+
+    /// Installs a fault-injection plan. An inactive plan (no fault ever
+    /// fires) leaves the timeline bit-identical to a reliable run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Engine<M> {
+        self.core.fault = Some(plan);
         self
     }
 
@@ -294,6 +385,28 @@ impl<M> Engine<M> {
                 self.core.queue.push(busy, r, ev.payload);
                 continue;
             }
+            // Transient stall: the rank is frozen when this event would
+            // run. Book the freeze as recovery time (extending busy_until
+            // so the gap is not double counted as idle) and retry the
+            // event at the thaw.
+            if let Some(f) = &self.core.fault {
+                let at = ev.time.max(busy);
+                if let Some(thaw) = f.stall_until(r, at) {
+                    if thaw > at {
+                        let frozen = thaw - at;
+                        self.core.ledger[r][TimeCategory::Recovery as usize] += frozen;
+                        self.core.fault_stats.stall_events += 1;
+                        self.core.fault_stats.stall_time += frozen;
+                        if let Some(trace) = &mut self.core.trace {
+                            trace.record(r, at, thaw, TimeCategory::Recovery);
+                        }
+                        self.core.busy_until[r] = thaw;
+                        self.core.finish[r] = self.core.finish[r].max(thaw);
+                        self.core.queue.push(thaw, r, ev.payload);
+                        continue;
+                    }
+                }
+            }
             let idle = ev.time.saturating_sub(busy);
             let mut ctx = Ctx {
                 core: &mut self.core,
@@ -318,10 +431,17 @@ impl<M> Engine<M> {
             "deadlock: {} barrier(s) never completed",
             self.core.barriers.len()
         );
-        let end_time = self.core.finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let end_time = self
+            .core
+            .finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
         SimReport {
             end_time,
             trace: self.core.trace.take(),
+            faults: self.core.fault_stats,
             ranks: (0..self.core.nranks)
                 .map(|r| RankReport {
                     finish: self.core.finish[r],
@@ -390,10 +510,7 @@ mod tests {
         assert_eq!(rtt.as_ns(), 2 * (150 + 1000 + 150));
         assert_eq!(report.end_time, rtt);
         // Rank 0's wait was classified as Comm.
-        assert_eq!(
-            report.ranks[0].ledger[TimeCategory::Comm as usize],
-            rtt
-        );
+        assert_eq!(report.ranks[0].ledger[TimeCategory::Comm as usize], rtt);
         assert_eq!(report.events, 4 /*starts*/ + 2 /*messages*/);
     }
 
@@ -419,7 +536,8 @@ mod tests {
     #[test]
     fn barrier_releases_all_at_max_entry_plus_cost() {
         let n = 4;
-        let mut progs: Vec<BarrierProg> = (0..n).map(|_| BarrierProg { released_at: None }).collect();
+        let mut progs: Vec<BarrierProg> =
+            (0..n).map(|_| BarrierProg { released_at: None }).collect();
         let report = Engine::new(n, small_net()).run(&mut progs);
         // Slowest rank enters at 4000; barrier cost = alpha * log2(4) = 2000.
         let expect = SimTime::from_ns(4000 + 2000);
@@ -544,8 +662,7 @@ mod tests {
     #[test]
     fn determinism_bit_identical() {
         fn run_once() -> SimReport {
-            let mut progs: Vec<PingPong> =
-                (0..6).map(|_| PingPong { got_pong_at: None }).collect();
+            let mut progs: Vec<PingPong> = (0..6).map(|_| PingPong { got_pong_at: None }).collect();
             Engine::new(6, small_net()).run(&mut progs)
         }
         assert_eq!(run_once(), run_once());
@@ -553,7 +670,8 @@ mod tests {
 
     #[test]
     fn tracing_records_spans() {
-        let mut progs: Vec<BarrierProg> = (0..3).map(|_| BarrierProg { released_at: None }).collect();
+        let mut progs: Vec<BarrierProg> =
+            (0..3).map(|_| BarrierProg { released_at: None }).collect();
         let report = Engine::new(3, small_net()).with_trace(100).run(&mut progs);
         let trace = report.trace.expect("trace enabled");
         // Each rank advanced compute once.
@@ -562,12 +680,165 @@ mod tests {
             let spans = trace.rank_spans(r);
             assert_eq!(spans.len(), 1);
             assert_eq!(spans[0].category, TimeCategory::Compute as u8);
-            assert_eq!((spans[0].end - spans[0].start).as_ns(), 1000 * (r as u64 + 1));
+            assert_eq!(
+                (spans[0].end - spans[0].start).as_ns(),
+                1000 * (r as u64 + 1)
+            );
         }
         // Untraced runs carry no trace.
-        let mut progs2: Vec<BarrierProg> = (0..3).map(|_| BarrierProg { released_at: None }).collect();
+        let mut progs2: Vec<BarrierProg> =
+            (0..3).map(|_| BarrierProg { released_at: None }).collect();
         let plain = Engine::new(3, small_net()).run(&mut progs2);
         assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical_to_none() {
+        use crate::fault::FaultPlan;
+        let run = |faulty: bool| {
+            let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+            let mut e = Engine::new(4, small_net());
+            if faulty {
+                e = e.with_faults(FaultPlan::new(99));
+            }
+            e.run(&mut progs)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn scheduled_drop_loses_the_message() {
+        use crate::fault::FaultPlan;
+        let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+        // The first message addressed to rank 3 is the ping: rank 3 never
+        // pongs, rank 0 never hears back.
+        let plan = FaultPlan::new(1).with_scheduled_drop(3, 1);
+        let report = Engine::new(4, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        assert!(progs[0].got_pong_at.is_none());
+        assert_eq!(report.faults.msgs_dropped, 1);
+        assert_eq!(report.events, 4, "only the starts ran");
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        use crate::fault::FaultPlan;
+        struct Counter {
+            got: u64,
+        }
+        impl Program<Msg> for Counter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 100, Msg::Ping);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {
+                self.got += 1;
+            }
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs = vec![Counter { got: 0 }, Counter { got: 0 }];
+        let plan = FaultPlan::new(1).with_message_faults(0.0, 1.0, 0.0, 0);
+        let report = Engine::new(2, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        assert_eq!(progs[1].got, 2, "original + duplicate");
+        assert_eq!(report.faults.msgs_duplicated, 1);
+    }
+
+    #[test]
+    fn delay_postpones_arrival() {
+        use crate::fault::FaultPlan;
+        let run = |delay_ns: u64| {
+            let mut progs: Vec<PingPong> = (0..2).map(|_| PingPong { got_pong_at: None }).collect();
+            let plan = if delay_ns > 0 {
+                FaultPlan::new(1).with_message_faults(0.0, 0.0, 1.0, delay_ns)
+            } else {
+                FaultPlan::new(1)
+            };
+            let report = Engine::new(2, small_net())
+                .with_faults(plan)
+                .run(&mut progs);
+            (progs[0].got_pong_at.unwrap(), report.faults.msgs_delayed)
+        };
+        let (clean, d0) = run(0);
+        let (slow, d2) = run(5_000);
+        assert_eq!(d0, 0);
+        assert_eq!(d2, 2, "both legs delayed");
+        assert_eq!(slow, clean + SimTime::from_ns(2 * 5_000));
+    }
+
+    #[test]
+    fn straggler_excess_booked_as_recovery() {
+        use crate::fault::{FaultPlan, StragglerWindow};
+        let mut progs: Vec<BarrierProg> =
+            (0..2).map(|_| BarrierProg { released_at: None }).collect();
+        let plan = FaultPlan::new(1).with_straggler(StragglerWindow {
+            rank: 1,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs_f64(1.0),
+            factor: 3.0,
+        });
+        let report = Engine::new(2, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        // Rank 1's 2000 ns of compute inflates by 2x2000 = 4000 of recovery.
+        assert_eq!(
+            report.ranks[1].ledger[TimeCategory::Compute as usize].as_ns(),
+            2000,
+            "base compute stays fault-free"
+        );
+        assert_eq!(
+            report.ranks[1].ledger[TimeCategory::Recovery as usize].as_ns(),
+            4000
+        );
+        assert_eq!(report.faults.straggler_excess.as_ns(), 4000);
+        // Rank 0 untouched.
+        assert_eq!(
+            report.ranks[0].ledger[TimeCategory::Recovery as usize],
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn stall_freezes_rank_and_books_recovery() {
+        use crate::fault::{FaultPlan, RankStall};
+        let mut progs: Vec<PingPong> = (0..2).map(|_| PingPong { got_pong_at: None }).collect();
+        // Rank 1 frozen over the ping's arrival (~100 ns, intra-node).
+        let plan = FaultPlan::new(1).with_stall(RankStall {
+            rank: 1,
+            at: SimTime::from_ns(50),
+            duration: SimTime::from_ns(10_000),
+        });
+        let report = Engine::new(2, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        let clean = {
+            let mut p: Vec<PingPong> = (0..2).map(|_| PingPong { got_pong_at: None }).collect();
+            Engine::new(2, small_net()).run(&mut p);
+            p[0].got_pong_at.unwrap()
+        };
+        let faulty = progs[0].got_pong_at.unwrap();
+        assert!(
+            faulty > clean,
+            "stall delays the pong: {faulty:?} vs {clean:?}"
+        );
+        assert_eq!(report.faults.stall_events, 1);
+        assert!(report.ranks[1].ledger[TimeCategory::Recovery as usize] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let mut progs: Vec<PingPong> = (0..6).map(|_| PingPong { got_pong_at: None }).collect();
+            let plan = FaultPlan::new(123).with_message_faults(0.3, 0.3, 0.3, 2_000);
+            Engine::new(6, small_net())
+                .with_faults(plan)
+                .run(&mut progs)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

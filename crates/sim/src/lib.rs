@@ -16,7 +16,11 @@
 //!   α·⌈log₂ P⌉;
 //! * an aggregate `alltoallv` cost model for bulk-synchronous exchanges;
 //! * a per-rank memory tracker with high-water marks (Fig. 11/12);
-//! * per-rank time ledgers by category (the Fig. 3/4/8–10 breakdowns).
+//! * per-rank time ledgers by category (the Fig. 3/4/8–10 breakdowns);
+//! * deterministic, seed-driven fault injection ([`fault::FaultPlan`]):
+//!   message drop / duplication / delay, straggler windows, transient
+//!   rank stalls — with the recovery cost booked in its own ledger
+//!   category.
 //!
 //! Everything is deterministic: events are ordered by `(virtual time,
 //! insertion sequence)`, so identical inputs give bit-identical timelines.
@@ -26,6 +30,7 @@
 pub mod coll;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod mem;
 pub mod net;
 pub mod stats;
@@ -35,6 +40,7 @@ pub mod trace;
 pub use coll::{alltoallv_time, CollParams, ExchangeLoad};
 pub use engine::{Ctx, Engine, Program, TimeCategory};
 pub use event::{Event, EventPayload};
+pub use fault::{backoff_delay, FaultConfig, FaultPlan, FaultStats};
 pub use mem::MemTracker;
 pub use net::{NetParams, Network};
 pub use stats::Summary;

@@ -90,6 +90,23 @@ impl Network {
         self.tx_free.len()
     }
 
+    /// Reserves only source-side NIC time for a message that will never
+    /// arrive (a wire loss injected by a fault plan): the sender pays
+    /// injection as usual, the destination NIC is untouched. Returns when
+    /// the doomed message left the source NIC. Intra-node messages occupy
+    /// no NIC and return immediately.
+    pub fn tx_time(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        let p = self.params;
+        let (sn, dn) = (p.node_of(src), p.node_of(dst));
+        if sn == dn {
+            return now + SimTime::from_ns(p.intra_alpha_ns);
+        }
+        let tx_start = self.tx_free[sn].max(now);
+        let tx_end = tx_start + p.wire_time(bytes);
+        self.tx_free[sn] = tx_end;
+        tx_end
+    }
+
     /// Computes the arrival time of a message sent at `now` from `src` to
     /// `dst` with `bytes` of payload, reserving NIC channel time.
     ///
@@ -167,6 +184,30 @@ mod tests {
         let t2 = n.delivery_time(SimTime::ZERO, 8, 1, 10_000);
         assert_eq!(t1.as_ns(), 10_050 + 1000 + 10_050);
         assert_eq!(t2.as_ns(), 10_050 + 1000 + 10_050 + 10_050);
+    }
+
+    #[test]
+    fn tx_time_occupies_only_source_nic() {
+        let mut n = net(4);
+        // A doomed message reserves the source NIC…
+        let left = n.tx_time(SimTime::ZERO, 0, 4, 10_000);
+        assert_eq!(left.as_ns(), 10_050);
+        // …so a later real send from the same node queues behind it…
+        let t = n.delivery_time(SimTime::ZERO, 1, 8, 10_000);
+        assert_eq!(t.as_ns(), 10_050 + 10_050 + 1000 + 10_050);
+        // …but the destination NIC of the doomed message was untouched.
+        let rx = n.delivery_time(SimTime::ZERO, 8, 4, 100);
+        assert_eq!(rx.as_ns(), 150 + 1000 + 150);
+    }
+
+    #[test]
+    fn tx_time_intra_node_is_free() {
+        let mut n = net(4);
+        let left = n.tx_time(SimTime::from_ns(5), 0, 1, 1_000_000);
+        assert_eq!(left.as_ns(), 5 + 100);
+        // NIC untouched.
+        let t = n.delivery_time(SimTime::ZERO, 0, 4, 1000);
+        assert_eq!(t.as_ns(), 1050 + 1000 + 1050);
     }
 
     #[test]

@@ -62,14 +62,20 @@ impl Trace {
 
     /// Spans of one rank, in time order.
     pub fn rank_spans(&self, rank: usize) -> Vec<TraceSpan> {
-        let mut v: Vec<TraceSpan> = self.spans.iter().filter(|s| s.rank == rank).copied().collect();
+        let mut v: Vec<TraceSpan> = self
+            .spans
+            .iter()
+            .filter(|s| s.rank == rank)
+            .copied()
+            .collect();
         v.sort_by_key(|s| s.start);
         v
     }
 }
 
-/// Glyphs per [`TimeCategory`] index: Compute, Overhead, Comm, Sync.
-const GLYPHS: [char; 4] = ['#', 'o', '~', '.'];
+/// Glyphs per [`TimeCategory`] index: Compute, Overhead, Comm, Sync,
+/// Recovery.
+const GLYPHS: [char; 5] = ['#', 'o', '~', '.', '!'];
 
 /// Renders an ASCII timeline: one row per rank, `width` columns spanning
 /// `[0, end]`. Busy spans paint their category glyph; idle stays blank.
@@ -91,7 +97,7 @@ pub fn render_timeline(trace: &Trace, nranks: usize, end: SimTime, width: usize)
         out.extend(row);
         out.push_str("|\n");
     }
-    out.push_str("     '#' compute  'o' overhead  '~' comm  '.' sync\n");
+    out.push_str("     '#' compute  'o' overhead  '~' comm  '.' sync  '!' recovery\n");
     out
 }
 
@@ -102,9 +108,24 @@ mod tests {
     #[test]
     fn records_and_orders() {
         let mut t = Trace::new(10);
-        t.record(1, SimTime::from_ns(50), SimTime::from_ns(80), TimeCategory::Comm);
-        t.record(0, SimTime::from_ns(0), SimTime::from_ns(10), TimeCategory::Compute);
-        t.record(1, SimTime::from_ns(10), SimTime::from_ns(20), TimeCategory::Sync);
+        t.record(
+            1,
+            SimTime::from_ns(50),
+            SimTime::from_ns(80),
+            TimeCategory::Comm,
+        );
+        t.record(
+            0,
+            SimTime::from_ns(0),
+            SimTime::from_ns(10),
+            TimeCategory::Compute,
+        );
+        t.record(
+            1,
+            SimTime::from_ns(10),
+            SimTime::from_ns(20),
+            TimeCategory::Sync,
+        );
         let r1 = t.rank_spans(1);
         assert_eq!(r1.len(), 2);
         assert!(r1[0].start < r1[1].start);
@@ -114,7 +135,12 @@ mod tests {
     #[test]
     fn zero_length_spans_skipped() {
         let mut t = Trace::new(10);
-        t.record(0, SimTime::from_ns(5), SimTime::from_ns(5), TimeCategory::Compute);
+        t.record(
+            0,
+            SimTime::from_ns(5),
+            SimTime::from_ns(5),
+            TimeCategory::Compute,
+        );
         assert!(t.spans.is_empty());
     }
 
@@ -137,8 +163,18 @@ mod tests {
     fn timeline_renders_spans() {
         let mut t = Trace::new(10);
         let end = SimTime::from_ns(100);
-        t.record(0, SimTime::from_ns(0), SimTime::from_ns(50), TimeCategory::Compute);
-        t.record(1, SimTime::from_ns(50), SimTime::from_ns(100), TimeCategory::Comm);
+        t.record(
+            0,
+            SimTime::from_ns(0),
+            SimTime::from_ns(50),
+            TimeCategory::Compute,
+        );
+        t.record(
+            1,
+            SimTime::from_ns(50),
+            SimTime::from_ns(100),
+            TimeCategory::Comm,
+        );
         let s = render_timeline(&t, 2, end, 10);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].contains("#####"), "{}", lines[0]);
@@ -150,7 +186,12 @@ mod tests {
     #[test]
     fn timeline_clamps_to_width() {
         let mut t = Trace::new(10);
-        t.record(0, SimTime::from_ns(90), SimTime::from_ns(200), TimeCategory::Sync);
+        t.record(
+            0,
+            SimTime::from_ns(90),
+            SimTime::from_ns(200),
+            TimeCategory::Sync,
+        );
         let s = render_timeline(&t, 1, SimTime::from_ns(100), 10);
         // Row is exactly "r0  |" + 10 cells + "|".
         let row = s.lines().next().unwrap();

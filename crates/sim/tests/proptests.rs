@@ -49,7 +49,13 @@ impl Program<Msg> for RingProg {
         self.received += 1;
         if hops_left > 0 {
             let next = (ctx.rank() + 1) % ctx.nranks();
-            ctx.send(next, 64, Msg::Token { hops_left: hops_left - 1 });
+            ctx.send(
+                next,
+                64,
+                Msg::Token {
+                    hops_left: hops_left - 1,
+                },
+            );
             self.forwarded += 1;
         }
     }

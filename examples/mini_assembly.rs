@@ -42,7 +42,10 @@ fn main() {
         graph.edge_count()
     );
     let removed = transitive_reduction(&mut graph, 150);
-    println!("transitive reduction removed {removed} edges -> {}", graph.edge_count());
+    println!(
+        "transitive reduction removed {removed} edges -> {}",
+        graph.edge_count()
+    );
 
     let mut tigs = unitigs(&graph, &lengths);
     tigs.sort_by_key(|t| std::cmp::Reverse(t.approx_len));

@@ -33,8 +33,10 @@ fn main() {
         nodes
     );
 
-    let mut cfg = RunConfig::default();
-    cfg.trace_capacity = 2_000_000;
+    let cfg = RunConfig {
+        trace_capacity: 2_000_000,
+        ..RunConfig::default()
+    };
     for algo in [Algorithm::Bsp, Algorithm::Async] {
         let r = run_sim(&w, &machine, algo, &cfg);
         println!(

@@ -60,8 +60,10 @@ fn memory_budget_sweep_preserves_results() {
 fn comm_only_mode_completes_everything() {
     let m = machine(2, 8);
     let w = workload(64, 5, m.nranks());
-    let mut cfg = RunConfig::default();
-    cfg.cost = CostModel::comm_only();
+    let cfg = RunConfig {
+        cost: CostModel::comm_only(),
+        ..RunConfig::default()
+    };
     let bsp = run_sim(&w, &m, Algorithm::Bsp, &cfg);
     let asy = run_sim(&w, &m, Algorithm::Async, &cfg);
     assert_eq!(bsp.tasks_done, asy.tasks_done);
@@ -76,8 +78,10 @@ fn rpc_window_is_performance_only() {
     let w = workload(64, 6, m.nranks());
     let mut checksums = Vec::new();
     for window in [1usize, 4, 64, 4096] {
-        let mut cfg = RunConfig::default();
-        cfg.rpc_window = window;
+        let cfg = RunConfig {
+            rpc_window: window,
+            ..RunConfig::default()
+        };
         let r = run_sim(&w, &m, Algorithm::Async, &cfg);
         checksums.push(r.task_checksum);
     }
@@ -88,8 +92,10 @@ fn rpc_window_is_performance_only() {
 fn async_memory_stays_window_bounded() {
     let m = machine(2, 8);
     let w = workload(32, 7, m.nranks());
-    let mut cfg = RunConfig::default();
-    cfg.rpc_window = 4;
+    let cfg = RunConfig {
+        rpc_window: 4,
+        ..RunConfig::default()
+    };
     let r = run_sim(&w, &m, Algorithm::Async, &cfg);
     let max_read = w.lengths.iter().copied().max().unwrap_or(0) as u64;
     for (rank, rd) in w.per_rank.iter().enumerate() {
@@ -109,8 +115,10 @@ fn os_noise_slows_but_preserves() {
     let m = machine(1, 8);
     let w = workload(64, 8, m.nranks());
     let quiet = run_sim(&w, &m, Algorithm::Bsp, &RunConfig::default());
-    let mut noisy_cfg = RunConfig::default();
-    noisy_cfg.os_noise = 0.2;
+    let noisy_cfg = RunConfig {
+        os_noise: 0.2,
+        ..RunConfig::default()
+    };
     let noisy = run_sim(&w, &m, Algorithm::Bsp, &noisy_cfg);
     assert_eq!(quiet.task_checksum, noisy.task_checksum);
     assert!(noisy.runtime() > quiet.runtime());

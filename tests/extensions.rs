@@ -51,9 +51,11 @@ fn failure_injection_through_driver() {
     let machine = MachineConfig::cori_knl(2).with_cores_per_node(8);
     let w = human_like(machine.nranks(), 6);
     let reliable = run_sim(&w, &machine, Algorithm::Async, &RunConfig::default());
-    let mut lossy_cfg = RunConfig::default();
-    lossy_cfg.rpc_drop_period = 5;
-    lossy_cfg.rpc_timeout_ns = 200_000;
+    let lossy_cfg = RunConfig {
+        rpc_drop_period: 5,
+        rpc_timeout_ns: 200_000,
+        ..RunConfig::default()
+    };
     let lossy = run_sim(&w, &machine, Algorithm::Async, &lossy_cfg);
     assert_eq!(reliable.task_checksum, lossy.task_checksum);
     assert!(lossy.runtime() > reliable.runtime());
@@ -111,8 +113,10 @@ fn prelude_model_consistent_with_machine() {
 fn traced_run_reports_spans() {
     let machine = MachineConfig::cori_knl(1).with_cores_per_node(4);
     let w = human_like(machine.nranks(), 8);
-    let mut cfg = RunConfig::default();
-    cfg.trace_capacity = 100_000;
+    let cfg = RunConfig {
+        trace_capacity: 100_000,
+        ..RunConfig::default()
+    };
     let r = run_sim(&w, &machine, Algorithm::Bsp, &cfg);
     let trace = r.report.trace.as_ref().expect("trace on");
     assert!(!trace.spans.is_empty());

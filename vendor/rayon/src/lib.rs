@@ -1,0 +1,174 @@
+//! Offline sequential-fallback subset of the `rayon` crate.
+//!
+//! `par_iter`/`par_chunks`/`into_par_iter` return the ordinary sequential
+//! iterators, and `par_sort_unstable_by_key` delegates to the standard
+//! sort. Everything the workspace chains on these (`map`, `filter`,
+//! `collect`, `for_each`, `sum`) is plain `Iterator` API, so call sites
+//! compile unchanged; rayon's ordering guarantee for indexed collects is
+//! satisfied trivially by sequential execution.
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    /// `par_iter`/`par_chunks` on slices (sequential fallbacks).
+    pub trait ParallelSliceExt<T> {
+        /// Sequential stand-in for `rayon`'s indexed parallel iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for parallel chunking.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable-slice operations (sequential fallbacks).
+    pub trait ParallelSliceMutExt<T> {
+        /// Sequential stand-in for parallel mutable iteration.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for parallel mutable chunking.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Delegates to `sort_unstable_by_key`.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMutExt<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f)
+        }
+    }
+
+    /// Sequential `map_init`: the per-thread state is created once and
+    /// threaded through every element (there is only one "thread").
+    pub struct MapInit<I, S, F> {
+        iter: I,
+        state: S,
+        f: F,
+    }
+
+    impl<I, S, F, R> Iterator for MapInit<I, S, F>
+    where
+        I: Iterator,
+        F: FnMut(&mut S, I::Item) -> R,
+    {
+        type Item = R;
+        fn next(&mut self) -> Option<R> {
+            let x = self.iter.next()?;
+            Some((self.f)(&mut self.state, x))
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.iter.size_hint()
+        }
+    }
+
+    /// Combinators rayon defines on `ParallelIterator` that plain
+    /// `Iterator` lacks (sequential fallbacks, order-preserving).
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Creates the scratch state once, then maps with `&mut state`.
+        fn map_init<S, INIT, F, R>(self, mut init: INIT, f: F) -> MapInit<Self, S, F>
+        where
+            INIT: FnMut() -> S,
+            F: FnMut(&mut S, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                f,
+            }
+        }
+
+        /// rayon's `flat_map_iter` is just `flat_map` sequentially.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+
+    /// `into_par_iter` on anything iterable (sequential fallback).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the ordinary sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+}
+
+/// Number of "worker threads" — always 1 in the sequential fallback.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = [3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn par_chunks_for_each_visits_all() {
+        let v: Vec<u32> = (0..100).collect();
+        let mut sum = 0u32;
+        v.par_chunks(7).for_each(|c| sum += c.iter().sum::<u32>());
+        assert_eq!(sum, (0..100).sum());
+    }
+
+    #[test]
+    fn par_sort_by_key_sorts() {
+        let mut v = vec![(2, 'b'), (0, 'z'), (1, 'a')];
+        v.par_sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(v, vec![(0, 'z'), (1, 'a'), (2, 'b')]);
+    }
+
+    #[test]
+    fn map_init_threads_state_through() {
+        let v = [1u32, 2, 3];
+        let out: Vec<u32> = v
+            .par_iter()
+            .map_init(
+                || 100u32,
+                |acc, x| {
+                    *acc += x;
+                    *acc
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![101, 103, 106]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v = [1u32, 3];
+        let out: Vec<u32> = v.par_iter().flat_map_iter(|&x| vec![x, x + 1]).collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn into_par_iter_works_on_vec_and_range() {
+        let s: i32 = vec![1, 2, 3].into_par_iter().sum();
+        assert_eq!(s, 6);
+        let t: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(t, 45);
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline marker-trait subset of the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! types as forward-looking decoration; nothing actually serialises (there
+//! is no `serde_json`/`bincode` in the dependency set). The shim therefore
+//! provides the two trait names as blanket-implemented markers plus no-op
+//! derive macros, so `#[derive(Serialize, Deserialize)]` compiles and the
+//! real crate can be dropped back in without source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Demo {
+        x: u32,
+        s: String,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    #[allow(dead_code)] // exists to type-check the derive, never constructed
+    enum Variants {
+        A,
+        B(u8),
+        C { v: Vec<u64> },
+    }
+
+    fn assert_marker<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derive_compiles_and_traits_blanket() {
+        assert_marker::<Demo>();
+        assert_marker::<Variants>();
+        assert_marker::<Vec<Demo>>();
+        let d = Demo {
+            x: 1,
+            s: "ok".into(),
+        };
+        assert_eq!(d, d);
+    }
+}
