@@ -10,6 +10,7 @@
 
 use crate::scoring::ScoringScheme;
 use crate::xdrop::XDropAligner;
+// gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
 use std::time::Instant;
 
 /// Measured DP-cell throughput.
@@ -50,6 +51,7 @@ pub fn measure_cell_rate(target_cells: u64) -> CellRate {
     // Warm-up pass (page in buffers, settle frequency scaling).
     let _ = aligner.extend(&a, &b, &sc, 50);
 
+    // gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
     let start = Instant::now();
     let mut cells = 0u64;
     while cells < target_cells {

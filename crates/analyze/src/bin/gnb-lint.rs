@@ -1,0 +1,151 @@
+//! `gnb-lint` — the static determinism auditor.
+//!
+//! ```text
+//! gnb-lint [--root <dir>] [--format human|json] [--deny-all] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` deny-level findings, `2` usage or I/O error.
+//! See the README ("Determinism lint") for the JSON schema and the
+//! annotation syntax.
+
+use gnb_analyze::rules::AUDIT_RULES;
+use gnb_analyze::walk::scan_workspace;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    json: bool,
+    deny_all: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "gnb-lint: static determinism auditor for the gnb workspace\n\
+     \n\
+     USAGE: gnb-lint [--root <dir>] [--format human|json] [--deny-all] [--list-rules]\n\
+     \n\
+     --root <dir>    workspace root to scan (default: nearest ancestor with a\n\
+     \x20               [workspace] Cargo.toml, else the current directory)\n\
+     --format <fmt>  report format: human (default) or json\n\
+     --deny-all      treat warn-level findings (float-fold-order) as deny\n\
+     --list-rules    print the determinism contract and exit\n\
+     \n\
+     EXIT CODES: 0 clean, 1 deny-level findings, 2 usage/I-O error\n"
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        json: false,
+        deny_all: false,
+        list_rules: false,
+    };
+    // The auditor's own CLI necessarily reads the process arguments.
+    // gnb-lint: allow(ambient-env, reason = "CLI argument parsing is this binary's input")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let v = args.get(i + 1).ok_or("--root needs a value")?;
+                opts.root = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--format" => {
+                let v = args.get(i + 1).ok_or("--format needs a value")?;
+                opts.json = match v.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+                i += 2;
+            }
+            "--deny-all" => {
+                opts.deny_all = true;
+                i += 1;
+            }
+            "--list-rules" => {
+                opts.list_rules = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares `[workspace]`.
+fn find_root() -> PathBuf {
+    // gnb-lint: allow(ambient-env, reason = "cwd discovery for default --root only")
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..6 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => break,
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("gnb-lint: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        println!("The gnb determinism contract (see DESIGN.md):\n");
+        for r in AUDIT_RULES {
+            let lvl = match r.default_level() {
+                gnb_analyze::Level::Deny => "deny",
+                gnb_analyze::Level::Warn => "warn",
+            };
+            println!("  {:<22} [{}] {}", r.name(), lvl, r.describe());
+        }
+        println!(
+            "\nWaiver syntax (same line or the line above):\n  \
+             // gnb-lint: allow(<rule>, reason = \"<why this site is deterministic>\")"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let root = opts.root.unwrap_or_else(find_root);
+    if !Path::new(&root).is_dir() {
+        eprintln!("gnb-lint: root `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let mut report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gnb-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.deny_all {
+        report.deny_all();
+    }
+    if opts.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.deny_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,490 @@
+//! A lightweight Rust lexer: just enough tokenization to audit source for
+//! determinism hazards without pulling in `syn` (the build environment has
+//! no crates.io route, and the auditor must not depend on what it audits).
+//!
+//! The lexer understands the parts of Rust that matter for *not* producing
+//! false positives from a plain text search:
+//!
+//! * line and (nested) block comments — kept aside, both so that hazard
+//!   words inside comments are never flagged and so that
+//!   `// gnb-lint: allow(...)` annotations can be parsed;
+//! * string / raw-string / byte-string / char literals — `"HashMap"` in a
+//!   message is not a `HashMap` use;
+//! * lifetimes vs char literals (`'a` the lifetime is not `'a'` the char);
+//! * numeric literals, with float detection (`0.0`, `1e-3`, `2f64`) for
+//!   the float-accumulation-order rule.
+//!
+//! Everything else is a single-character punctuation token; rules match
+//! token sequences (e.g. `std` `:` `:` `env`).
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; the text is in [`Token::text`].
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Float literal, or an integer with an `f32`/`f64` suffix.
+    Float,
+    /// String literal of any flavour (raw, byte, …).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier text (empty for non-identifiers).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A comment captured during lexing (attributed to its starting line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comments seen along the way.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. The lexer is forgiving: malformed input (an unterminated
+/// string, say) ends the current token at end-of-input rather than failing,
+/// because an auditor that dies on one odd file audits nothing.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line, col),
+                'r' if matches!(self.peek_at(1), Some('"') | Some('#')) && self.raw_ahead(1) => {
+                    self.bump(); // 'r'
+                    self.raw_string_literal(line, col);
+                }
+                'b' if self.peek_at(1) == Some('"') => {
+                    self.bump(); // 'b'
+                    self.string_literal(line, col);
+                }
+                'b' if self.peek_at(1) == Some('\'') => {
+                    self.bump(); // 'b'
+                    self.bump(); // '\''
+                    self.char_literal(line, col);
+                }
+                'b' if self.peek_at(1) == Some('r') && self.raw_ahead(2) => {
+                    self.bump(); // 'b'
+                    self.bump(); // 'r'
+                    self.raw_string_literal(line, col);
+                }
+                '\'' => {
+                    self.bump();
+                    self.quote(line, col);
+                }
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), String::new(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether the characters from offset `at` look like a raw-string
+    /// opener: zero or more `#` then `"`.
+    fn raw_ahead(&self, at: usize) -> bool {
+        let mut i = at;
+        while self.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some('"')
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // "//"
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // "/*"
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek_at(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek_at(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening '"'
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char (any)
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// Called with the cursor on the first `#` or `"` after `r`/`br`.
+    fn raw_string_literal(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening '"'
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need `hashes` '#' characters to close.
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// Cursor just after a `'`: decide lifetime vs char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // Scan the identifier run; a closing quote right after a
+                // single char means a char literal ('a'), otherwise a
+                // lifetime ('abc or 'a followed by non-quote).
+                let mut len = 0usize;
+                while matches!(self.peek_at(len), Some(c) if c.is_alphanumeric() || c == '_') {
+                    len += 1;
+                }
+                if len == 1 && self.peek_at(1) == Some('\'') {
+                    self.bump();
+                    self.bump(); // char + closing quote
+                    self.push(TokKind::Char, String::new(), line, col);
+                } else {
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    self.push(TokKind::Lifetime, String::new(), line, col);
+                }
+            }
+            _ => self.char_literal(line, col),
+        }
+    }
+
+    /// Cursor inside a char literal (after the opening quote): consume to
+    /// the closing quote, honouring escapes.
+    fn char_literal(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut is_float = false;
+        // Hex/octal/binary prefix: consume and stay integer.
+        if self.peek() == Some('0') && matches!(self.peek_at(1), Some('x') | Some('o') | Some('b'))
+        {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(TokKind::Int, String::new(), line, col);
+            return;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // Fractional part: a '.' followed by a digit (not `1..3` or `1.max()`).
+        if self.peek() == Some('.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        // `1.` with nothing after (valid float) — but not `1..` (range).
+        if self.peek() == Some('.')
+            && !matches!(self.peek_at(1), Some('.'))
+            && !matches!(self.peek_at(1), Some(c) if c.is_alphabetic() || c == '_')
+        {
+            is_float = true;
+            self.bump();
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e') | Some('E'))
+            && matches!(
+                (self.peek_at(1), self.peek_at(2)),
+                (Some(c), _) if c.is_ascii_digit()
+            )
+            || matches!(self.peek(), Some('e') | Some('E'))
+                && matches!(self.peek_at(1), Some('+') | Some('-'))
+                && matches!(self.peek_at(2), Some(c) if c.is_ascii_digit())
+        {
+            is_float = true;
+            self.bump(); // e
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        // Suffix (u32, f64, usize, …): a float suffix makes it a float.
+        let mut suffix = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            suffix.push(self.peek().unwrap());
+            self.bump();
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        self.push(
+            if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
+            String::new(),
+            line,
+            col,
+        );
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            text.push(self.peek().unwrap());
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("use std::collections::HashMap;");
+        let names = idents("use std::collections::HashMap;");
+        assert_eq!(names, vec!["use", "std", "collections", "HashMap"]);
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Punct(';')));
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        assert!(idents(r#"let m = "HashMap is fine here";"#)
+            .iter()
+            .all(|i| i != "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_hide_contents() {
+        assert!(idents(r##"let m = r#"Instant "quoted" inside"#;"##)
+            .iter()
+            .all(|i| i != "Instant"));
+        assert!(idents(r#"let m = r"SystemTime";"#)
+            .iter()
+            .all(|i| i != "SystemTime"));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let names = idents(r#"let b = b"HashMap"; let c = b'x'; let d = '\n';"#);
+        assert!(names.iter().all(|i| i != "HashMap" && i != "x" && i != "n"));
+    }
+
+    #[test]
+    fn comments_captured_not_tokenized() {
+        let l = lex("// HashMap in a comment\nlet x = 1; /* SystemTime\n span */");
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.comments[1].text.contains("SystemTime"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(idents("/* outer /* inner */ still */ let x = 1;").contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn float_detection() {
+        let kinds: Vec<TokKind> = lex("0.0 1e-3 2f64 7 0x1F 1_000u64 1..3")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokKind::Float);
+        assert_eq!(kinds[1], TokKind::Float);
+        assert_eq!(kinds[2], TokKind::Float);
+        assert_eq!(kinds[3], TokKind::Int);
+        assert_eq!(kinds[4], TokKind::Int);
+        assert_eq!(kinds[5], TokKind::Int);
+        // `1..3` lexes as Int, '.', '.', Int — not a float.
+        assert_eq!(kinds[6], TokKind::Int);
+        assert_eq!(kinds[7], TokKind::Punct('.'));
+    }
+
+    #[test]
+    fn method_call_on_int_not_float() {
+        let kinds: Vec<TokKind> = lex("1.max(2)").tokens.into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds[0], TokKind::Int);
+        assert_eq!(kinds[1], TokKind::Punct('.'));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let l = lex("let x = 1;\nlet HashMap = 2;");
+        let t = l.tokens.iter().find(|t| t.text == "HashMap").unwrap();
+        assert_eq!(t.line, 2);
+        assert_eq!(t.col, 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! `gnb-analyze`: static determinism auditing for the `gnb` workspace.
+//!
+//! Everything this reproduction claims — bit-identical DES timelines,
+//! byte-identical experiment TSVs, replayable fault plans — rests on the
+//! codebase *staying* deterministic. This crate enforces that mechanically:
+//!
+//! * [`lexer`] — a dependency-free Rust lexer (no `syn`; the build
+//!   environment has no crates.io route) that understands comments,
+//!   strings, lifetimes and float literals well enough to avoid
+//!   text-search false positives;
+//! * [`rules`] — the determinism contract: deny unordered-collection use,
+//!   wall-clock reads, ambient environment/randomness, and order-sensitive
+//!   float accumulation, with reasoned `// gnb-lint: allow(...)` waivers;
+//! * [`walk`] — workspace traversal and rule scoping (the full contract in
+//!   `crates/{sim,core,overlap}`, clock/env/rng rules elsewhere, the
+//!   experiment harness exempt);
+//! * [`report`] — human-readable and JSON rendering.
+//!
+//! The `gnb-lint` binary (`src/bin/gnb-lint.rs`) is the CLI entry point;
+//! CI runs it with `--deny-all`. The dynamic half of the determinism suite
+//! — the virtual-time race detector — lives in `gnb-sim` (see
+//! `gnb_sim::trace::RaceDetector`), because it must observe live event
+//! dispatch; this crate is the static half.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::Report;
+pub use rules::{Finding, Level, Rule, AUDIT_RULES};
+pub use walk::{collect_files, rules_for, scan_source, scan_workspace};

@@ -1,0 +1,200 @@
+//! Rendering of scan results: human-readable (rustc-style) and JSON.
+//!
+//! The JSON schema is stable and documented in the README so the lint can
+//! be wired into pre-commit hooks and CI annotations:
+//!
+//! ```json
+//! {
+//!   "root": "<scan root>",
+//!   "files_scanned": 42,
+//!   "deny_findings": 1,
+//!   "warn_findings": 0,
+//!   "findings": [
+//!     {
+//!       "rule": "unordered-collections",
+//!       "level": "deny",
+//!       "path": "crates/sim/src/engine.rs",
+//!       "line": 77,
+//!       "col": 15,
+//!       "message": "..."
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::rules::{Finding, Level};
+
+/// Result of a whole-tree scan.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Scan root (as given).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, ordered by (path, line, col).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Count of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == Level::Deny)
+            .count()
+    }
+
+    /// Count of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+
+    /// Promotes every warn finding to deny (`--deny-all`).
+    pub fn deny_all(&mut self) {
+        for f in &mut self.findings {
+            f.level = Level::Deny;
+        }
+    }
+
+    /// Human-readable rendering, one `path:line:col` block per finding.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let lvl = match f.level {
+                Level::Deny => "deny",
+                Level::Warn => "warn",
+            };
+            out.push_str(&format!(
+                "{}:{}:{}: {}({}): {}\n",
+                f.path,
+                f.line,
+                f.col,
+                lvl,
+                f.rule.name(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "gnb-lint: {} file(s) scanned, {} deny finding(s), {} warn finding(s)\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count()
+        ));
+        out
+    }
+
+    /// JSON rendering (hand-rolled: this crate is dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"deny_findings\": {},\n", self.deny_count()));
+        out.push_str(&format!("  \"warn_findings\": {},\n", self.warn_count()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule.name())));
+            out.push_str(&format!(
+                "\"level\": {}, ",
+                json_str(match f.level {
+                    Level::Deny => "deny",
+                    Level::Warn => "warn",
+                })
+            ));
+            out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"col\": {}, ", f.col));
+            out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn sample() -> Report {
+        Report {
+            root: ".".to_string(),
+            files_scanned: 3,
+            findings: vec![Finding {
+                rule: Rule::WallClock,
+                level: Level::Deny,
+                path: "crates/x/src/a.rs".to_string(),
+                line: 7,
+                col: 13,
+                message: "uses \"Instant\"".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn human_format_has_span_and_counts() {
+        let r = sample().render_human();
+        assert!(
+            r.contains("crates/x/src/a.rs:7:13: deny(wall-clock)"),
+            "{r}"
+        );
+        assert!(r.contains("3 file(s) scanned, 1 deny"), "{r}");
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let j = sample().render_json();
+        assert!(j.contains("\"rule\": \"wall-clock\""), "{j}");
+        assert!(j.contains("\"line\": 7"), "{j}");
+        assert!(j.contains("uses \\\"Instant\\\""), "{j}");
+        // Counts present.
+        assert!(j.contains("\"deny_findings\": 1"), "{j}");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report {
+            root: "x".into(),
+            files_scanned: 0,
+            findings: vec![],
+        };
+        let j = r.render_json();
+        assert!(j.contains("\"findings\": []"), "{j}");
+    }
+
+    #[test]
+    fn deny_all_promotes_warnings() {
+        let mut r = sample();
+        r.findings[0].level = Level::Warn;
+        assert_eq!(r.deny_count(), 0);
+        r.deny_all();
+        assert_eq!(r.deny_count(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Workspace walking and rule scoping: which files are audited, and which
+//! rules apply where.
+//!
+//! The determinism contract is strongest where nondeterminism corrupts
+//! results silently — the simulator and the coordination/accounting code —
+//! and deliberately looser where wall-clock access is the *point*:
+//!
+//! * `crates/sim`, `crates/core`, `crates/overlap` (the DES, the two
+//!   coordination codes, the overlap pipeline): **all** rules;
+//! * every other `crates/*/src` tree and the root `src/`: all rules except
+//!   `unordered-collections`/`float-fold-order` (those are hot-path/
+//!   accounting rules) — so `Instant`, `std::env` and ambient RNG still
+//!   need a reasoned waiver anywhere they appear;
+//! * `crates/bench` (the experiment harness): exempt — its job is to parse
+//!   CLI args, read result-directory overrides from the environment and
+//!   time real executions. Only annotation syntax is checked there;
+//! * `vendor/`, `target/`, `tests/` directories, fixtures: not walked.
+//!   Integration tests may use hash collections for assertions;
+//!   in-source `#[cfg(test)]` modules, by contrast, ARE audited (they sit
+//!   in the same files as the hot paths and rot together).
+
+use crate::lexer;
+use crate::report::Report;
+use crate::rules::{self, Rule, AUDIT_RULES};
+use std::path::{Path, PathBuf};
+
+/// Path prefixes (relative, `/`-separated) where the full contract holds.
+const DETERMINISM_CORE: [&str; 3] = ["crates/sim/src/", "crates/core/src/", "crates/overlap/src/"];
+
+/// Crates exempt from audit rules (annotation syntax still checked).
+const EXEMPT: [&str; 1] = ["crates/bench/"];
+
+/// The rules that apply to a workspace-relative path (empty = only
+/// annotation-syntax checking).
+pub fn rules_for(rel: &str) -> Vec<Rule> {
+    if EXEMPT.iter().any(|p| rel.starts_with(p)) {
+        return Vec::new();
+    }
+    if DETERMINISM_CORE.iter().any(|p| rel.starts_with(p)) {
+        return AUDIT_RULES.to_vec();
+    }
+    vec![Rule::WallClock, Rule::AmbientEnv, Rule::AmbientRng]
+}
+
+/// Collects the `.rs` files to audit under `root`: `src/` and
+/// `crates/*/src/`, skipping `vendor/`, `target/` and any `tests/`
+/// directory. Returned paths are sorted for deterministic reports.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        walk_dir(&top_src, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let src = m.join("src");
+            if src.is_dir() {
+                walk_dir(&src, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "tests" || name == "target" || name == "vendor" {
+                continue;
+            }
+            walk_dir(&p, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one source string as if it lived at `rel_path`, applying the
+/// scope rules. Exposed for tests and editor integrations.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<rules::Finding> {
+    let lexed = lexer::lex(source);
+    let mut applicable = rules_for(rel_path);
+    applicable.push(Rule::BadAnnotation);
+    rules::scan(rel_path, &lexed, &applicable)
+}
+
+/// Scans the whole workspace under `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = collect_files(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(f)?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    Ok(Report {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_full_in_determinism_core() {
+        let r = rules_for("crates/sim/src/engine.rs");
+        assert_eq!(r.len(), AUDIT_RULES.len());
+        assert!(r.contains(&Rule::UnorderedCollections));
+    }
+
+    #[test]
+    fn scope_partial_elsewhere() {
+        let r = rules_for("crates/align/src/batch.rs");
+        assert!(!r.contains(&Rule::UnorderedCollections));
+        assert!(r.contains(&Rule::WallClock));
+        let root = rules_for("src/lib.rs");
+        assert!(root.contains(&Rule::AmbientEnv));
+    }
+
+    #[test]
+    fn bench_exempt() {
+        assert!(rules_for("crates/bench/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn scan_source_applies_scope() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(scan_source("crates/sim/src/x.rs", src).len(), 1);
+        assert!(scan_source("crates/align/src/x.rs", src).is_empty());
+        assert!(scan_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bad_annotations_checked_even_when_exempt() {
+        let src = "// gnb-lint: allow(nope)\nfn main() {}";
+        let f = scan_source("crates/bench/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::BadAnnotation);
+    }
+
+    #[test]
+    fn workspace_scan_runs_on_this_repo() {
+        // CARGO_MANIFEST_DIR = crates/analyze → repo root is ../..
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = scan_workspace(&root).expect("scan");
+        assert!(report.files_scanned > 50, "saw {}", report.files_scanned);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: ambient-env violations.
+fn configured() -> Option<String> {
+    std::env::var("GNB_SECRET_KNOB").ok()
+}
+
+fn arguments() -> Vec<String> {
+    use std::env;
+    env::args().collect()
+}

@@ -1,0 +1,8 @@
+// Fixture: configuration arrives as data, not ambient process state.
+pub struct Opts {
+    pub knob: Option<String>,
+}
+
+fn configured(opts: &Opts) -> Option<&str> {
+    opts.knob.as_deref()
+}

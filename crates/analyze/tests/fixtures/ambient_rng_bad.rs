@@ -1,0 +1,9 @@
+// Fixture: ambient-rng violations.
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let seeded_from_os = rand::rngs::StdRng::from_entropy();
+    let _ = seeded_from_os;
+    let x: f64 = rand::random();
+    let _ = &mut rng;
+    x
+}

@@ -1,0 +1,7 @@
+// Fixture: explicit seeding is deterministic and passes.
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen::<f64>()
+}

@@ -1,0 +1,12 @@
+// Fixture: malformed waivers are findings themselves.
+// gnb-lint: allow(no-such-rule, reason = "unknown rule name")
+fn a() {}
+
+// gnb-lint: allow(wall-clock)
+fn b() {}
+
+// gnb-lint: allow(wall-clock, reason = "")
+fn c() {}
+
+// gnb-lint: deny(wall-clock)
+fn d() {}

@@ -1,0 +1,5 @@
+// Fixture: well-formed waivers, same line and line above.
+// gnb-lint: allow(wall-clock, reason = "fixture exercises the line-above form")
+fn a() -> std::time::Instant {
+    std::time::Instant::now() // gnb-lint: allow(wall-clock, reason = "same-line form")
+}

@@ -1,0 +1,4 @@
+// Fixture: order-sensitive float accumulation.
+fn total(costs: &[f64]) -> f64 {
+    costs.iter().fold(0.0, |acc, c| acc + c)
+}

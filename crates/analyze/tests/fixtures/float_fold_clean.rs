@@ -1,0 +1,12 @@
+// Fixture: order-insensitive float reductions pass.
+fn peak(costs: &[f64]) -> f64 {
+    costs.iter().cloned().fold(0.0, f64::max)
+}
+
+fn floor(costs: &[f64]) -> f64 {
+    costs.iter().cloned().fold(1.0, f64::min)
+}
+
+fn count(items: &[u64]) -> u64 {
+    items.iter().fold(0, |acc, x| acc + x)
+}

@@ -1,0 +1,13 @@
+// Fixture: unordered-collections violations (scanned as if in crates/sim/src/).
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_default() += 1;
+    }
+    seen.len() + counts.len()
+}

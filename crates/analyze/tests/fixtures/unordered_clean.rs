@@ -1,0 +1,15 @@
+// Fixture: ordered collections pass; a commented HashMap and one in a
+// string literal must not trip the lexer-aware scanner.
+use std::collections::{BTreeMap, BTreeSet};
+
+// A HashMap would be wrong here.
+fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_default() += 1;
+    }
+    let _msg = "HashSet in a string is fine";
+    seen.len() + counts.len()
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock violations.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+// Fixture: virtual time passes; waived Instant uses pass (both forms).
+fn measure(now_ns: u64, dt_ns: u64) -> u64 {
+    now_ns + dt_ns
+}
+
+// gnb-lint: allow(wall-clock, reason = "fixture exercises the line-above form")
+fn calibrated() -> std::time::Instant {
+    std::time::Instant::now() // gnb-lint: allow(wall-clock, reason = "same-line form")
+}

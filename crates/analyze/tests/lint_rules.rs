@@ -1,0 +1,117 @@
+//! Fixture-driven rule tests for `gnb-lint`, plus the workspace-clean
+//! gate: the repository itself must audit clean.
+
+use gnb_analyze::rules::Rule;
+use gnb_analyze::walk::{scan_source, scan_workspace};
+use gnb_analyze::{Finding, Level};
+use std::path::Path;
+
+/// Loads a fixture and scans it as if it lived in the determinism core
+/// (all rules apply).
+fn scan_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    scan_source(&format!("crates/sim/src/{name}"), &src)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unordered_collections_bad_and_clean() {
+    let bad = scan_fixture("unordered_bad.rs");
+    assert!(bad.len() >= 4, "uses + ctors all flagged: {bad:?}");
+    assert!(bad.iter().all(|f| f.rule == Rule::UnorderedCollections));
+    assert!(bad.iter().all(|f| f.level == Level::Deny));
+    // Spans: the first finding is the `use ... HashMap` on line 2.
+    assert_eq!((bad[0].line, bad[0].col), (2, 23), "{:?}", bad[0]);
+    assert!(scan_fixture("unordered_clean.rs").is_empty());
+}
+
+#[test]
+fn wall_clock_bad_and_clean() {
+    let bad = scan_fixture("wall_clock_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::WallClock; 3], "{bad:?}");
+    // `Instant::now()` inside `measure` sits on line 5.
+    assert!(bad.iter().any(|f| f.line == 5), "{bad:?}");
+    assert!(scan_fixture("wall_clock_clean.rs").is_empty());
+}
+
+#[test]
+fn ambient_env_bad_and_clean() {
+    let bad = scan_fixture("ambient_env_bad.rs");
+    assert!(!bad.is_empty());
+    assert!(bad.iter().all(|f| f.rule == Rule::AmbientEnv), "{bad:?}");
+    assert!(scan_fixture("ambient_env_clean.rs").is_empty());
+}
+
+#[test]
+fn ambient_rng_bad_and_clean() {
+    let bad = scan_fixture("ambient_rng_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::AmbientRng; 3], "{bad:?}");
+    assert!(scan_fixture("ambient_rng_clean.rs").is_empty());
+}
+
+#[test]
+fn float_fold_bad_and_clean() {
+    let bad = scan_fixture("float_fold_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::FloatFoldOrder], "{bad:?}");
+    // Warn by default; `--deny-all` promotes it.
+    assert_eq!(bad[0].level, Level::Warn);
+    assert_eq!(bad[0].line, 3);
+    assert!(scan_fixture("float_fold_clean.rs").is_empty());
+}
+
+#[test]
+fn annotations_bad_and_clean() {
+    let bad = scan_fixture("annotation_bad.rs");
+    assert_eq!(rules_of(&bad), vec![Rule::BadAnnotation; 4], "{bad:?}");
+    // Malformed annotations are always deny: they look like waivers but
+    // waive nothing, which is worse than no annotation at all.
+    assert!(bad.iter().all(|f| f.level == Level::Deny));
+    assert!(scan_fixture("annotation_clean.rs").is_empty());
+}
+
+#[test]
+fn fixtures_outside_core_scope_skip_hot_path_rules() {
+    // The same unordered-collections fixture is fine in a non-core crate.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/unordered_bad.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    assert!(scan_source("crates/genome/src/x.rs", &src).is_empty());
+}
+
+#[test]
+fn workspace_audits_clean_under_deny_all() {
+    // The acceptance gate CI enforces: the repository's own sources carry
+    // zero findings even with warn-level rules promoted to deny.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut report = scan_workspace(&root).expect("scan workspace");
+    report.deny_all();
+    assert!(
+        report.files_scanned > 50,
+        "walk found only {} files",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "workspace must lint clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn json_report_round_trips_fixture_findings() {
+    let bad = scan_fixture("wall_clock_bad.rs");
+    let report = gnb_analyze::Report {
+        root: "fixtures".into(),
+        files_scanned: 1,
+        findings: bad,
+    };
+    let json = report.render_json();
+    assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
+    assert!(json.contains("\"deny_findings\": 3"), "{json}");
+}

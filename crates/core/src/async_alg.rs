@@ -396,6 +396,8 @@ impl Program<AsyncMsg> for AsyncRank {
         match msg {
             AsyncMsg::Req { read, attempt } => {
                 self.classify_foreign_idle(ctx);
+                // Owner-side lookup of the (immutable) partition entry.
+                ctx.race_read(read as u64);
                 // Service the lookup and ship the read back. Servicing a
                 // retried request is fault-induced work: recovery, not the
                 // algorithm's own overhead.
@@ -415,6 +417,11 @@ impl Program<AsyncMsg> for AsyncRank {
                 ctx.send(src, bytes, AsyncMsg::Rep { read, attempt });
             }
             AsyncMsg::Rep { read, attempt: _ } => {
+                // Reply receipt updates the group's arrival state; a
+                // duplicate reply landing at the same virtual time as the
+                // original would be resolved by queue tie-break alone —
+                // exactly what the race detector exists to flag.
+                ctx.race_write(read as u64);
                 let gidx = self.group_index(read);
                 if self.arrived[gidx] {
                     // Duplicate: a wire-duplicated copy or a retry that
@@ -438,6 +445,10 @@ impl Program<AsyncMsg> for AsyncRank {
                 // Idle ended by a retry timer is time lost to (suspected)
                 // faults, whatever the timer's fate below.
                 ctx.classify_idle(TimeCategory::Recovery);
+                // The stale-check below reads/writes the same arrival and
+                // attempt state a reply writes: a timer firing at the very
+                // instant the reply arrives is tie-break-resolved.
+                ctx.race_write(read as u64);
                 let gidx = self.group_index(read);
                 if self.arrived[gidx] || attempt != self.attempts[gidx] {
                     // Stale timer: the reply arrived (or a newer attempt

@@ -171,6 +171,7 @@ mod tests {
             events: 2,
             trace: None,
             faults: FaultStats::default(),
+            races: None,
         }
     }
 
@@ -222,6 +223,7 @@ mod tests {
             events: 0,
             trace: None,
             faults: FaultStats::default(),
+            races: None,
         };
         let b = RuntimeBreakdown::from_report(&r);
         assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0, 0.0));

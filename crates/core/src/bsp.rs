@@ -138,7 +138,7 @@ pub fn plan_bsp(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> Bs
         }
 
         let mut round = 0usize;
-        let mut round_owners: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut round_owners: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
         for g in &rd.groups {
             if plan.recv_bytes[round] + g.bytes > share && round + 1 < rounds {
                 peers_per_round_max[round] = peers_per_round_max[round].max(round_owners.len());

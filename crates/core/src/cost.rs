@@ -150,7 +150,7 @@ mod tests {
         let distinct = costs
             .iter()
             .map(|c| (c * 1000.0) as u64)
-            .collect::<std::collections::HashSet<_>>()
+            .collect::<std::collections::BTreeSet<_>>()
             .len();
         assert!(distinct > 40, "jitter should vary: {distinct} distinct");
     }

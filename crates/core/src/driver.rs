@@ -9,7 +9,8 @@ use crate::machine::MachineConfig;
 use crate::workload::SimWorkload;
 use gnb_sim::engine::SimReport;
 use gnb_sim::fault::{FaultConfig, FaultStats};
-use gnb_sim::Engine;
+use gnb_sim::trace::RaceDetector;
+use gnb_sim::{Engine, TieBreak};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -86,7 +87,22 @@ pub struct RunConfig {
     /// Span-trace capacity (0 = tracing off). Enables
     /// `SimReport::trace` for timeline rendering.
     pub trace_capacity: usize,
+    /// Enable the virtual-time race detector
+    /// ([`gnb_sim::trace::RaceDetector`]): instrumented handlers declare
+    /// the state keys they touch, and same-rank same-virtual-time
+    /// conflicts (whose resolution depends on event-queue tie-breaking)
+    /// surface in [`RunResult::races`]. Off by default — detection does
+    /// not perturb the timeline, but the record buffer costs memory.
+    pub detect_races: bool,
+    /// Equal-time event ordering. [`TieBreak::Fifo`] is the engine
+    /// contract; [`TieBreak::Lifo`] reverses equal-time order and exists
+    /// for perturbation-replay determinism tests: fault-free results must
+    /// not change under it.
+    pub tie_break: TieBreak,
 }
+
+/// Conflict records kept when [`RunConfig::detect_races`] is set.
+const RACE_CAPACITY: usize = 4096;
 
 /// Deterministic per-rank OS-noise factor in `[1, 1 + amplitude]`.
 pub fn os_noise_factor(rank: usize, amplitude: f64) -> f64 {
@@ -123,6 +139,8 @@ impl Default for RunConfig {
             bsp_exchange_overhead: 3.5,
             bsp_buffer_factor: 2.0,
             trace_capacity: 0,
+            detect_races: false,
+            tie_break: TieBreak::Fifo,
         }
     }
 }
@@ -228,6 +246,11 @@ impl RunResult {
     pub fn runtime(&self) -> f64 {
         self.breakdown.total
     }
+
+    /// Race-detector results (None unless [`RunConfig::detect_races`]).
+    pub fn races(&self) -> Option<&RaceDetector> {
+        self.report.races.as_ref()
+    }
 }
 
 /// Runs `algo` over the fixed `workload` on `machine`.
@@ -275,7 +298,10 @@ pub fn try_run_sim(
         if cfg.fault.is_active() {
             engine = engine.with_faults(fault_plan.clone());
         }
-        engine
+        if cfg.detect_races {
+            engine = engine.with_race_detection(RACE_CAPACITY);
+        }
+        engine.with_tie_break(cfg.tie_break)
     }
     let (report, tasks_done, checksum, rounds, recovery, first_failure) = match algo {
         Algorithm::Bsp => {

@@ -14,7 +14,7 @@
 
 use gnb_align::{AlignmentRecord, OverlapClass};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A directed overlap edge in suffix→prefix orientation: `from`'s suffix
 /// matches `to`'s prefix, advancing by `advance` bases.
@@ -34,9 +34,9 @@ pub struct OverlapEdge {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OverlapGraph {
     /// Out-edges per read.
-    pub edges: HashMap<u32, Vec<OverlapEdge>>,
+    pub edges: BTreeMap<u32, Vec<OverlapEdge>>,
     /// Reads marked contained (excluded from the graph).
-    pub contained: HashSet<u32>,
+    pub contained: BTreeSet<u32>,
 }
 
 impl OverlapGraph {
@@ -53,8 +53,8 @@ impl OverlapGraph {
 
 /// Identifies contained reads: any read whose accepted alignment is
 /// classified as contained in its partner.
-pub fn remove_contained(records: &[&AlignmentRecord]) -> HashSet<u32> {
-    let mut contained = HashSet::new();
+pub fn remove_contained(records: &[&AlignmentRecord]) -> BTreeSet<u32> {
+    let mut contained = BTreeSet::new();
     for rec in records {
         match rec.class {
             OverlapClass::ContainsB => {
@@ -78,7 +78,7 @@ pub fn remove_contained(records: &[&AlignmentRecord]) -> HashSet<u32> {
 pub fn build_graph(records: &[&AlignmentRecord], read_lengths: &[usize]) -> OverlapGraph {
     let contained = remove_contained(records);
     let mut g = OverlapGraph {
-        edges: HashMap::new(),
+        edges: BTreeMap::new(),
         contained: contained.clone(),
     };
     for rec in records {
@@ -167,8 +167,8 @@ pub struct Unitig {
 /// non-contained) reads form one-read unitigs.
 pub fn unitigs(g: &OverlapGraph, read_lengths: &[usize]) -> Vec<Unitig> {
     // In-degree over the (possibly reduced) graph.
-    let mut indeg: HashMap<u32, usize> = HashMap::new();
-    let mut nodes: HashSet<u32> = HashSet::new();
+    let mut indeg: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut nodes: BTreeSet<u32> = BTreeSet::new();
     for (&a, edges) in &g.edges {
         nodes.insert(a);
         for e in edges {
@@ -191,7 +191,7 @@ pub fn unitigs(g: &OverlapGraph, read_lengths: &[usize]) -> Vec<Unitig> {
     };
     let unambiguous_in = |r: u32| indeg.get(&r).copied().unwrap_or(0) == 1;
 
-    let mut visited: HashSet<u32> = HashSet::new();
+    let mut visited: BTreeSet<u32> = BTreeSet::new();
     let mut out = Vec::new();
     let mut ordered: Vec<u32> = nodes.iter().copied().collect();
     ordered.sort_unstable();

@@ -162,7 +162,7 @@ mod tests {
         let model = BellaModel::new(preset.coverage, 0.10, 17);
         let (lo, hi) = model.reliable_interval();
         let cands = generate_candidates(&index_of(&reads, 17, lo, hi));
-        let cand_set: std::collections::HashSet<(u32, u32)> =
+        let cand_set: std::collections::BTreeSet<(u32, u32)> =
             cands.iter().map(|c| (c.a, c.b)).collect();
         let mut true_pairs = 0usize;
         let mut found = 0usize;

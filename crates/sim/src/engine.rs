@@ -21,14 +21,14 @@
 //! so nothing is silently lost.
 
 use crate::coll::barrier_time;
-use crate::event::{EventPayload, EventQueue};
+use crate::event::{EventPayload, EventQueue, TieBreak};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::mem::MemTracker;
 use crate::net::{NetParams, Network};
 use crate::stats::Summary;
 use crate::time::SimTime;
-use crate::trace::Trace;
-use std::collections::HashMap;
+use crate::trace::{RaceDetector, Trace};
+use std::collections::BTreeMap;
 
 /// Time ledger categories, matching the paper's runtime breakdowns
 /// (Figs. 3, 4, 8–10) plus fault-recovery accounting.
@@ -74,7 +74,7 @@ struct EngineCore<M> {
     net: Network,
     nranks: usize,
     busy_until: Vec<SimTime>,
-    barriers: HashMap<u64, BarrierState>,
+    barriers: BTreeMap<u64, BarrierState>,
     ledger: Vec<[SimTime; CATEGORIES]>,
     unclassified_idle: Vec<SimTime>,
     mem: MemTracker,
@@ -89,6 +89,8 @@ struct EngineCore<M> {
     dst_counts: Vec<u64>,
     /// Injected-fault counters.
     fault_stats: FaultStats,
+    /// Virtual-time race detector (None = not detecting).
+    races: Option<RaceDetector>,
 }
 
 /// Handler context: the engine API available to a running rank.
@@ -266,6 +268,25 @@ impl<'a, M> Ctx<'a, M> {
     pub fn mem_current(&self) -> u64 {
         self.core.mem.current(self.rank)
     }
+
+    /// Declares that this handler reads logical state `key` (for the
+    /// virtual-time race detector; a no-op unless
+    /// [`Engine::with_race_detection`] was set). Keys are application
+    /// chosen — e.g. a read id, a tile index — and only compared for
+    /// equality within one rank.
+    pub fn race_read(&mut self, key: u64) {
+        if let Some(rd) = &mut self.core.races {
+            rd.access(key, false);
+        }
+    }
+
+    /// Declares that this handler writes logical state `key` (see
+    /// [`Ctx::race_read`]).
+    pub fn race_write(&mut self, key: u64) {
+        if let Some(rd) = &mut self.core.races {
+            rd.access(key, true);
+        }
+    }
 }
 
 /// Per-rank results of a simulation.
@@ -294,6 +315,8 @@ pub struct SimReport {
     pub trace: Option<Trace>,
     /// Injected-fault counters (all zero on a reliable machine).
     pub faults: FaultStats,
+    /// Race-detector results, if detection was enabled.
+    pub races: Option<RaceDetector>,
 }
 
 impl SimReport {
@@ -332,7 +355,7 @@ impl<M> Engine<M> {
                 net: Network::new(net, nranks),
                 nranks,
                 busy_until: vec![SimTime::ZERO; nranks],
-                barriers: HashMap::new(),
+                barriers: BTreeMap::new(),
                 ledger: vec![[SimTime::ZERO; CATEGORIES]; nranks],
                 unclassified_idle: vec![SimTime::ZERO; nranks],
                 mem: MemTracker::new(nranks),
@@ -343,6 +366,7 @@ impl<M> Engine<M> {
                 msg_seq: 0,
                 dst_counts: vec![0; nranks],
                 fault_stats: FaultStats::default(),
+                races: None,
             },
         }
     }
@@ -358,6 +382,23 @@ impl<M> Engine<M> {
     /// fires) leaves the timeline bit-identical to a reliable run.
     pub fn with_faults(mut self, plan: FaultPlan) -> Engine<M> {
         self.core.fault = Some(plan);
+        self
+    }
+
+    /// Enables the virtual-time race detector (see
+    /// [`crate::trace::RaceDetector`]), keeping at most `capacity`
+    /// conflict records. Detection does not perturb the timeline: the
+    /// report of an instrumented run is otherwise bit-identical.
+    pub fn with_race_detection(mut self, capacity: usize) -> Engine<M> {
+        self.core.races = Some(RaceDetector::new(capacity));
+        self
+    }
+
+    /// Sets the equal-time tie-break policy ([`TieBreak::Fifo`] is the
+    /// default contract; [`TieBreak::Lifo`] is the perturbation-replay
+    /// mode for determinism testing).
+    pub fn with_tie_break(mut self, tb: TieBreak) -> Engine<M> {
+        self.core.queue.set_tie_break(tb);
         self
     }
 
@@ -408,6 +449,9 @@ impl<M> Engine<M> {
                 }
             }
             let idle = ev.time.saturating_sub(busy);
+            if let Some(rd) = &mut self.core.races {
+                rd.begin_event(r, ev.time, ev.seq);
+            }
             let mut ctx = Ctx {
                 core: &mut self.core,
                 rank: r,
@@ -431,6 +475,9 @@ impl<M> Engine<M> {
             "deadlock: {} barrier(s) never completed",
             self.core.barriers.len()
         );
+        if let Some(rd) = &mut self.core.races {
+            rd.finish();
+        }
         let end_time = self
             .core
             .finish
@@ -442,6 +489,7 @@ impl<M> Engine<M> {
             end_time,
             trace: self.core.trace.take(),
             faults: self.core.fault_stats,
+            races: self.core.races.take(),
             ranks: (0..self.core.nranks)
                 .map(|r| RankReport {
                     finish: self.core.finish[r],
@@ -839,6 +887,88 @@ mod tests {
                 .run(&mut progs)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Schedules two self-timers for the same instant; each handler
+    /// writes the same key, optionally consuming CPU first.
+    struct SameTimeWriter {
+        advance: SimTime,
+    }
+
+    impl Program<Msg> for SameTimeWriter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.after(SimTime::from_us(10), Msg::Tick);
+            ctx.after(SimTime::from_us(10), Msg::Tick);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {
+            ctx.race_write(7);
+            if self.advance > SimTime::ZERO {
+                ctx.advance(self.advance, TimeCategory::Overhead);
+            }
+        }
+        fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+    }
+
+    #[test]
+    fn race_detector_flags_same_time_write_write() {
+        let mut progs = vec![SameTimeWriter {
+            advance: SimTime::ZERO,
+        }];
+        let report = Engine::new(1, small_net())
+            .with_race_detection(64)
+            .run(&mut progs);
+        let races = report.races.expect("detection enabled");
+        assert_eq!(races.records.len(), 1, "{:?}", races.records);
+        let r = races.records[0];
+        assert_eq!((r.rank, r.key), (0, 7));
+        assert_eq!(r.time, SimTime::from_us(10));
+        assert!(r.first_write && r.second_write);
+        assert_ne!(r.first_seq, r.second_seq);
+    }
+
+    #[test]
+    fn race_detector_clear_when_handler_consumes_time() {
+        // The first handler's advance makes the rank busy, so the second
+        // equal-time event is re-queued to a later dispatch time: its
+        // ordering is now causal, not tie-break-arbitrary.
+        let mut progs = vec![SameTimeWriter {
+            advance: SimTime::from_us(3),
+        }];
+        let report = Engine::new(1, small_net())
+            .with_race_detection(64)
+            .run(&mut progs);
+        let races = report.races.expect("detection enabled");
+        assert!(races.is_clean(), "{:?}", races.records);
+        assert!(races.groups_checked > 0, "instrumentation ran");
+    }
+
+    #[test]
+    fn race_detection_does_not_perturb_the_timeline() {
+        let run = |detect: bool| {
+            let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+            let mut e = Engine::new(4, small_net());
+            if detect {
+                e = e.with_race_detection(64);
+            }
+            let mut rep = e.run(&mut progs);
+            rep.races = None; // compare everything else
+            rep
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn lifo_tie_break_preserves_fault_free_report() {
+        // The engine contract: fault-free results may not depend on the
+        // equal-time tie-break. PingPong's report must be bit-identical
+        // under the reversed ordering.
+        let run = |tb: TieBreak| {
+            let mut progs: Vec<PingPong> = (0..6).map(|_| PingPong { got_pong_at: None }).collect();
+            Engine::new(6, small_net())
+                .with_tie_break(tb)
+                .run(&mut progs)
+        };
+        assert_eq!(run(TieBreak::Fifo), run(TieBreak::Lifo));
     }
 
     #[test]

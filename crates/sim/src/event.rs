@@ -1,6 +1,7 @@
 //! The event queue: a deterministic min-heap over `(time, sequence)`.
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -55,11 +56,54 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Tie-break policy among events sharing the same virtual time.
+///
+/// [`TieBreak::Fifo`] (insertion order) is the engine's documented
+/// contract. [`TieBreak::Lifo`] reverses the order of equal-time events —
+/// it exists purely as a perturbation mode for determinism testing: any
+/// observable that changes between Fifo and Lifo runs depends on the
+/// arbitrary tie-break, which is exactly what the race detector hunts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Earliest-inserted first (the deterministic default).
+    #[default]
+    Fifo,
+    /// Latest-inserted first (perturbation replay mode).
+    Lifo,
+}
+
+/// Heap entry: `key` bakes in the tie-break policy chosen at push time so
+/// the `BinaryHeap` ordering stays a plain lexicographic compare.
+#[derive(Debug)]
+struct HeapEntry<M> {
+    key: (SimTime, u64),
+    ev: Event<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event.
+        other.key.cmp(&self.key)
+    }
+}
+
 /// Deterministic event queue.
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    heap: BinaryHeap<HeapEntry<M>>,
     next_seq: u64,
+    tie_break: TieBreak,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -67,6 +111,7 @@ impl<M> Default for EventQueue<M> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            tie_break: TieBreak::Fifo,
         }
     }
 }
@@ -77,21 +122,42 @@ impl<M> EventQueue<M> {
         Self::default()
     }
 
+    /// Sets the equal-time ordering policy (before any events are queued).
+    pub fn set_tie_break(&mut self, tb: TieBreak) {
+        assert!(
+            self.heap.is_empty(),
+            "tie-break policy must be set before events are queued"
+        );
+        self.tie_break = tb;
+    }
+
+    /// The active equal-time ordering policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
+    }
+
     /// Schedules `payload` for `dst` at `time`.
     pub fn push(&mut self, time: SimTime, dst: usize, payload: EventPayload<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event {
-            time,
-            seq,
-            dst,
-            payload,
+        let order = match self.tie_break {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => u64::MAX - seq,
+        };
+        self.heap.push(HeapEntry {
+            key: (time, order),
+            ev: Event {
+                time,
+                seq,
+                dst,
+                payload,
+            },
         });
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        self.heap.pop().map(|e| e.ev)
     }
 
     /// Number of pending events.
@@ -128,6 +194,28 @@ mod tests {
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.dst)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lifo_reverses_equal_time_order_only() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.set_tie_break(TieBreak::Lifo);
+        let t = SimTime::from_ns(5);
+        for dst in 0..4 {
+            q.push(t, dst, EventPayload::Start);
+        }
+        // A strictly earlier event still comes first regardless of policy.
+        q.push(SimTime::from_ns(1), 9, EventPayload::Start);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.dst)).collect();
+        assert_eq!(order, vec![9, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before events are queued")]
+    fn tie_break_locked_once_queued() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(SimTime::ZERO, 0, EventPayload::Start);
+        q.set_tie_break(TieBreak::Lifo);
     }
 
     #[test]

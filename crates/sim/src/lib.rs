@@ -24,6 +24,16 @@
 //!
 //! Everything is deterministic: events are ordered by `(virtual time,
 //! insertion sequence)`, so identical inputs give bit-identical timelines.
+//!
+//! The insertion-sequence half of that ordering is an arbitrary
+//! tie-break, so determinism *testing* gets two dedicated hooks (see
+//! DESIGN.md "Determinism contract"): a virtual-time race detector
+//! ([`trace::RaceDetector`], enabled with
+//! [`engine::Engine::with_race_detection`]) that flags same-time
+//! same-rank state conflicts whose resolution depends on the tie-break,
+//! and a perturbation-replay mode ([`event::TieBreak::Lifo`], set with
+//! [`engine::Engine::with_tie_break`]) that reverses equal-time ordering —
+//! fault-free results must be invariant under it.
 
 #![warn(missing_docs)]
 
@@ -39,9 +49,10 @@ pub mod trace;
 
 pub use coll::{alltoallv_time, CollParams, ExchangeLoad};
 pub use engine::{Ctx, Engine, Program, TimeCategory};
-pub use event::{Event, EventPayload};
+pub use event::{Event, EventPayload, TieBreak};
 pub use fault::{backoff_delay, FaultConfig, FaultPlan, FaultStats};
 pub use mem::MemTracker;
 pub use net::{NetParams, Network};
 pub use stats::Summary;
 pub use time::SimTime;
+pub use trace::{render_races, RaceDetector, RaceRecord};

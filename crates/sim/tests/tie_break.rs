@@ -1,0 +1,157 @@
+//! Tie-break perturbation replay and race-detector regression tests.
+//!
+//! The engine's determinism contract (DESIGN.md "Determinism contract")
+//! says equal-time event ordering is arbitrary: fault-free results may
+//! not depend on it. These tests replay a workload under the reversed
+//! ([`TieBreak::Lifo`]) ordering and assert the report is bit-identical,
+//! and separately prove the race detector flags state that *does* depend
+//! on the tie-break.
+
+use gnb_sim::engine::{Ctx, Engine, Program, SimReport, TimeCategory};
+use gnb_sim::{NetParams, SimTime, TieBreak};
+
+fn net() -> NetParams {
+    NetParams {
+        ranks_per_node: 2,
+        alpha_ns: 1000,
+        intra_alpha_ns: 100,
+        node_bw_bytes_per_sec: 1e9,
+        per_msg_overhead_ns: 50,
+        taper: 1.0,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Msg {
+    Work(u64),
+    Done,
+}
+
+/// An all-to-all scatter followed by per-message compute and a barrier —
+/// enough equal-time traffic to make tie-break order matter *if* any
+/// handler were order-sensitive.
+struct Scatter {
+    received: u64,
+    done: usize,
+    finish: Option<SimTime>,
+}
+
+impl Scatter {
+    fn new() -> Scatter {
+        Scatter {
+            received: 0,
+            done: 0,
+            finish: None,
+        }
+    }
+}
+
+impl Program<Msg> for Scatter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for dst in 0..ctx.nranks() {
+            if dst != ctx.rank() {
+                ctx.send(dst, 256, Msg::Work(ctx.rank() as u64 + 1));
+            }
+        }
+        ctx.barrier_enter(0);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: usize, msg: Msg) {
+        match msg {
+            Msg::Work(x) => {
+                ctx.classify_idle(TimeCategory::Comm);
+                // Order-insensitive accumulation.
+                self.received += x * x;
+                ctx.advance(SimTime::from_us(5), TimeCategory::Compute);
+                ctx.send(src, 32, Msg::Done);
+            }
+            Msg::Done => {
+                self.done += 1;
+            }
+        }
+    }
+    fn on_barrier(&mut self, ctx: &mut Ctx<'_, Msg>, _id: u64) {
+        ctx.classify_idle(TimeCategory::Sync);
+        self.finish = Some(ctx.now());
+    }
+}
+
+fn run_scatter(nranks: usize, tb: TieBreak) -> (Vec<(u64, usize)>, SimReport) {
+    let mut progs: Vec<Scatter> = (0..nranks).map(|_| Scatter::new()).collect();
+    let report = Engine::new(nranks, net())
+        .with_tie_break(tb)
+        .run(&mut progs);
+    let state = progs.iter().map(|p| (p.received, p.done)).collect();
+    (state, report)
+}
+
+#[test]
+fn fault_free_results_invariant_under_lifo_replay() {
+    // The contract covers *results*: program state, booked work, event
+    // counts. Micro-timing of idle tails (who waits longest for its last
+    // reply) legitimately permutes with the service order of genuinely
+    // concurrent requests, so finish times are not compared.
+    for nranks in [2, 4, 8] {
+        let (s_fifo, r_fifo) = run_scatter(nranks, TieBreak::Fifo);
+        let (s_lifo, r_lifo) = run_scatter(nranks, TieBreak::Lifo);
+        assert_eq!(s_fifo, s_lifo, "program state diverged at P={nranks}");
+        assert_eq!(r_fifo.events, r_lifo.events, "event count at P={nranks}");
+        for (a, b) in r_fifo.ranks.iter().zip(&r_lifo.ranks) {
+            assert_eq!(a.ledger, b.ledger, "busy ledger diverged at P={nranks}");
+            assert_eq!(a.mem_peak, b.mem_peak, "memory diverged at P={nranks}");
+        }
+    }
+}
+
+/// Two handlers for the same instant, each writing the same key without
+/// consuming CPU: the canonical tie-break-dependent conflict. The value
+/// of `last` after the run literally depends on the queue's seq order.
+struct LastWriterWins {
+    last: u64,
+}
+
+impl Program<Msg> for LastWriterWins {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.after(SimTime::from_us(10), Msg::Work(1));
+        ctx.after(SimTime::from_us(10), Msg::Work(2));
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _src: usize, msg: Msg) {
+        if let Msg::Work(x) = msg {
+            ctx.race_write(99);
+            self.last = x;
+        }
+    }
+    fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+}
+
+#[test]
+fn injected_same_time_write_write_conflict_is_flagged() {
+    let mut progs = vec![LastWriterWins { last: 0 }];
+    let report = Engine::new(1, net())
+        .with_race_detection(16)
+        .run(&mut progs);
+    let races = report.races.expect("detection enabled");
+    assert_eq!(races.records.len(), 1, "{:?}", races.records);
+    let r = races.records[0];
+    assert_eq!(r.key, 99);
+    assert!(r.first_write && r.second_write);
+
+    // And the perturbation replay confirms the hazard is real: the final
+    // state flips with the tie-break.
+    let run = |tb: TieBreak| {
+        let mut progs = vec![LastWriterWins { last: 0 }];
+        Engine::new(1, net()).with_tie_break(tb).run(&mut progs);
+        progs[0].last
+    };
+    assert_eq!(run(TieBreak::Fifo), 2, "last insertion wins under fifo");
+    assert_eq!(run(TieBreak::Lifo), 1, "reversed under lifo");
+}
+
+#[test]
+fn clean_program_reports_no_races_with_detection_on() {
+    let mut progs: Vec<Scatter> = (0..4).map(|_| Scatter::new()).collect();
+    let report = Engine::new(4, net())
+        .with_race_detection(64)
+        .run(&mut progs);
+    let races = report.races.expect("detection enabled");
+    assert!(races.is_clean(), "{:?}", races.records);
+}
