@@ -1,5 +1,6 @@
 //! Runs every experiment binary in sequence (Table 1 and Figures 3–13 plus
-//! the intranode sweep). Equivalent to invoking each `expt_*` binary.
+//! the intranode, fault-injection and race-detector sweeps). Equivalent to
+//! invoking each `expt_*` binary.
 
 use std::process::Command;
 
@@ -20,6 +21,8 @@ fn main() {
         "expt_intranode",
         "expt_window",
         "expt_balance",
+        "expt_fault",
+        "expt_races",
     ];
     let self_path = std::env::current_exe().expect("own path");
     let dir = self_path.parent().expect("bin dir");

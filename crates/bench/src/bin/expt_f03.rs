@@ -20,8 +20,9 @@ fn main() {
     ));
 
     println!(
-        "{:<6} {:<6} | {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "cores", "algo", "total(s)", "align", "ovhd", "comm", "sync"
+        "{:<6} {}",
+        "cores",
+        gnb_core::RuntimeBreakdown::console_header("algo")
     );
     let mut rows = Vec::new();
     let mut totals = std::collections::HashMap::new();
@@ -33,19 +34,10 @@ fn main() {
             os_noise: if cores == 68 { 0.10 } else { 0.0 },
             ..RunConfig::default()
         };
-        for algo in [Algorithm::Bsp, Algorithm::Async] {
+        for algo in Algorithm::ALL {
             let r = run_sim(&sim, &machine, algo, &cfg);
             let b = &r.breakdown;
-            println!(
-                "{:<6} {:<6} | {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
-                cores,
-                algo.to_string(),
-                b.total,
-                b.compute.mean,
-                b.overhead.mean,
-                b.comm.mean,
-                b.sync.mean
-            );
+            println!("{:<6} {}", cores, b.console_row(&algo.to_string()));
             rows.push(format!("{cores}\t{algo}\t{}", b.tsv_row()));
             totals.insert((cores, algo.to_string()), b.total);
         }
@@ -59,11 +51,15 @@ fn main() {
     for cores in [64usize, 68] {
         let bsp = totals[&(cores, "BSP".to_string())];
         let asy = totals[&(cores, "Async".to_string())];
+        let agg = totals[&(cores, "AggAsync".to_string())];
         println!(
-            "{} cores: |BSP - Async| = {:.2}s ({:.2}% of runtime)",
+            "{} cores: |BSP - Async| = {:.2}s ({:.2}% of runtime), \
+             |BSP - AggAsync| = {:.2}s ({:.2}%)",
             cores,
             (bsp - asy).abs(),
-            (bsp - asy).abs() / bsp * 100.0
+            (bsp - asy).abs() / bsp * 100.0,
+            (bsp - agg).abs(),
+            (bsp - agg).abs() / bsp * 100.0
         );
     }
     let b64 = totals[&(64usize, "BSP".to_string())];

@@ -41,9 +41,11 @@ fn main() {
         let sim = w.prepare(machine.nranks());
         let bsp = run_sim(&sim, &machine, Algorithm::Bsp, &cfg);
         let asy = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+        let agg = run_sim(&sim, &machine, Algorithm::AggAsync, &cfg);
         assert_eq!(bsp.task_checksum, asy.task_checksum);
+        assert_eq!(bsp.task_checksum, agg.task_checksum);
         let gap = (bsp.runtime() - asy.runtime()) / bsp.runtime() * 100.0;
-        for r in [&bsp, &asy] {
+        for r in [&bsp, &asy, &agg] {
             let b = &r.breakdown;
             println!(
                 "{:>5} {:>6} {:<6} | {:>9.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>6.1}% {:>7} {:>6.1}%",
@@ -74,9 +76,11 @@ fn main() {
         if nodes == *ECOLI100_NODES.last().unwrap() {
             if let Some(t1) = single_node_total {
                 println!(
-                    "  -> speedup over 1 node at {nodes} nodes: BSP {:.1}x, Async {:.1}x (paper: ~40x)",
+                    "  -> speedup over 1 node at {nodes} nodes: BSP {:.1}x, Async {:.1}x, \
+                     AggAsync {:.1}x (paper: ~40x)",
                     t1 / bsp.runtime(),
-                    t1 / asy.runtime()
+                    t1 / asy.runtime(),
+                    t1 / agg.runtime()
                 );
             }
         }

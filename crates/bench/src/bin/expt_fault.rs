@@ -1,5 +1,5 @@
-//! Fault-injection sweep: both coordination codes under message loss and
-//! straggler ranks, measuring recovery cost and robustness.
+//! Fault-injection sweep: all three coordination codes under message loss
+//! and straggler ranks, measuring recovery cost and robustness.
 //!
 //! The paper's runs assume a reliable interconnect (GASNet-EX delivery
 //! guarantees) and homogeneous cores. This experiment relaxes both: a
@@ -73,7 +73,7 @@ fn main() {
                 straggler_factor: factor,
                 ..FaultConfig::default()
             };
-            for algo in [Algorithm::Bsp, Algorithm::Async] {
+            for algo in Algorithm::ALL {
                 let (status, row) = match try_run_sim(&sim, &machine, algo, &cfg) {
                     Ok(r) => {
                         let b = &r.breakdown;

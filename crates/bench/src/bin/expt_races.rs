@@ -1,8 +1,9 @@
-//! Race-detector smoke run: both coordination codes with virtual-time
-//! conflict tracking enabled, under both equal-time tie-break policies.
+//! Race-detector smoke run: all three coordination codes with
+//! virtual-time conflict tracking enabled, under both equal-time
+//! tie-break policies.
 //!
 //! This is the CI gate for the dynamic half of the determinism contract
-//! (DESIGN.md "Determinism contract"): fault-free runs of either
+//! (DESIGN.md "Determinism contract"): fault-free runs of every
 //! coordination strategy must report **zero** same-virtual-time
 //! conflicts, and their result checksums must be invariant under the
 //! [`TieBreak::Lifo`] perturbation. A faulty async cell rides along to
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = cli_args();
     if args.scale.is_none() {
-        // Small fixed workload: the sweep is 2 algos x 2 tie-breaks + 1.
+        // Small fixed workload: the sweep is 3 algos x 2 tie-breaks + 1.
         args.scale = Some(64);
     }
     let w = load_workload("ecoli_30x", &args);
@@ -41,7 +42,7 @@ fn main() -> ExitCode {
     let mut gate_failed = false;
     let mut checksums: Vec<(Algorithm, u64)> = Vec::new();
 
-    for algo in [Algorithm::Bsp, Algorithm::Async] {
+    for algo in Algorithm::ALL {
         for tb in [TieBreak::Fifo, TieBreak::Lifo] {
             let cfg = RunConfig {
                 detect_races: true,

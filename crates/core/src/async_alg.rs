@@ -1,7 +1,7 @@
 //! The asynchronous coordination code (paper §3.2).
 //!
-//! A pull-based SPMD algorithm over RPCs (UPC++ in the original; typed
-//! messages on the `gnb-sim` engine here):
+//! A pull-based SPMD algorithm over RPCs (UPC++ in the original; tracked
+//! requests on the [`crate::runtime`] layer here):
 //!
 //! * tasks are indexed under the remote read they need;
 //! * each rank issues one asynchronous request per distinct remote read —
@@ -21,21 +21,17 @@
 //! requests is *synchronization*; RPC injection/servicing and
 //! pointer-based store traversal are *overhead*.
 //!
-//! Recovery: when the network is unreliable (legacy `rpc_drop_period` or a
-//! [`gnb_sim::fault::FaultPlan`] with message faults), every request
-//! attempt arms one timeout timer with exponential backoff + jitter
-//! ([`gnb_sim::backoff_delay`]); a fired timer re-issues the request up to
-//! `rpc_max_retries` times and then gives up with a structured
-//! [`RecoveryFailure`]. Retry injection, retried-request servicing,
-//! duplicate-reply handling and timer-ended idle are booked under
-//! [`TimeCategory::Recovery`], keeping the paper's four base categories
-//! fault-free-comparable.
+//! Recovery is runtime-owned: retry timers, exponential backoff,
+//! duplicate-reply dedup and give-up bookkeeping all live in
+//! [`crate::runtime`] — this module holds only the protocol state machine
+//! (what to request, what to do with an arrived read, when to finish).
 
 use crate::cost::CostModel;
 use crate::driver::RunConfig;
 use crate::machine::MachineConfig;
+use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig};
 use crate::workload::{task_checksum, SimWorkload};
-use gnb_sim::engine::{Ctx, Program, TimeCategory};
+use gnb_sim::engine::TimeCategory;
 use gnb_sim::SimTime;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -44,54 +40,14 @@ use std::sync::Arc;
 const BAR_REG: u64 = 0;
 const BAR_EXIT: u64 = 1;
 
-/// Messages of the asynchronous algorithm.
-///
-/// Requests and replies carry the request's attempt number — a
-/// per-request sequence number that lets the requester tell a retried
-/// reply from a stale duplicate and lets the owner book retry servicing
-/// as recovery work.
+/// Strategy-internal messages of the asynchronous algorithm. Requests and
+/// replies are runtime-tracked ([`crate::runtime::RtMsg`]); only the poll
+/// self-timer is the strategy's own.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AsyncMsg {
+pub enum AsyncApp {
     /// Self-timer: process the next unit of ready work (the polling the
     /// paper notes UPC++ requires).
     Poll,
-    /// Request for a remote read.
-    Req {
-        /// The read being fetched.
-        read: u32,
-        /// Attempt sequence number (0 = first issue).
-        attempt: u32,
-    },
-    /// Reply carrying a read (payload bytes are modelled on the wire).
-    Rep {
-        /// The read that arrived.
-        read: u32,
-        /// Echo of the request's attempt number.
-        attempt: u32,
-    },
-    /// Self-timer: retry check for one attempt of an outstanding request
-    /// (armed once per attempt whenever the network is unreliable). A
-    /// timer whose attempt is no longer current — the reply arrived, the
-    /// group was abandoned, or a newer retry superseded it — is stale: it
-    /// no-ops and is *not* re-armed, so completed requests leak no timer
-    /// events into the queue.
-    Timeout {
-        /// The read whose reply may have been lost.
-        read: u32,
-        /// The attempt this timer guards.
-        attempt: u32,
-    },
-}
-
-/// Structured outcome of a retry budget running dry: the request that gave
-/// up, after how many attempts. Surfaces as
-/// [`crate::driver::RunError::RetryBudgetExhausted`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RecoveryFailure {
-    /// The remote read that could not be fetched.
-    pub read: u32,
-    /// Total attempts made (initial send + retries).
-    pub attempts: u32,
 }
 
 /// Precomputed per-rank inputs for the async code.
@@ -200,14 +156,15 @@ pub fn plan_async(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> 
     }
 }
 
-/// One asynchronous rank.
-pub struct AsyncRank {
+/// The strategy-facing context of the async code.
+type ACtx<'c, 'e> = RtCtx<'c, 'e, AsyncApp, (), ()>;
+
+/// The asynchronous protocol state machine, hosted by [`RankRuntime`].
+pub struct AsyncStrategy {
     plan: Arc<AsyncPlan>,
     rank: usize,
     cfg_window: usize,
     cfg_req_bytes: u64,
-    rpc_inject: SimTime,
-    rpc_service: SimTime,
 
     next_req: usize,
     in_flight: usize,
@@ -216,55 +173,17 @@ pub struct AsyncRank {
     groups_done: usize,
     poll_scheduled: bool,
     entered_exit: bool,
-    /// Failure injection (0 = off): every Nth served request's reply lost.
-    drop_period: u64,
-    /// Whether the network can lose/duplicate/delay messages — arms the
-    /// per-attempt retry timers.
-    unreliable: bool,
-    /// Base retry timeout (attempt 0); later attempts back off
-    /// exponentially with jitter.
-    backoff_base: SimTime,
-    /// Backoff cap.
-    backoff_max: SimTime,
-    /// Retry budget per request (retries after the initial send).
-    max_retries: u32,
-    /// Jitter seed (from the fault config, so runs stay reproducible).
-    fault_seed: u64,
-    /// Served-request counter (drives deterministic drops).
-    served: u64,
-    /// Per-group arrival flags (guards against duplicate replies).
-    arrived: Vec<bool>,
-    /// Per-group current attempt number (stale-timer detection).
-    attempts: Vec<u32>,
-    /// First retry-budget exhaustion, if any (the run is then incomplete
-    /// and the driver reports a structured error).
-    pub failed: Option<RecoveryFailure>,
-    /// Replies this rank deliberately dropped (owner side).
-    pub drops_injected: u64,
-    /// Requests this rank re-issued after a timeout.
-    pub retries: u64,
-    /// Duplicate replies this rank received and discarded.
-    pub dup_replies: u64,
-    /// Tasks completed (exposed for verification).
-    pub tasks_done: u64,
+    tasks_done: u64,
 }
 
-impl AsyncRank {
-    /// Creates the rank program.
-    pub fn new(
-        plan: Arc<AsyncPlan>,
-        rank: usize,
-        machine: &MachineConfig,
-        cfg: &RunConfig,
-    ) -> Self {
-        let ngroups = plan.per_rank[rank].groups.len();
-        AsyncRank {
+impl AsyncStrategy {
+    /// Creates the protocol state machine for one rank.
+    pub fn new(plan: Arc<AsyncPlan>, rank: usize, cfg: &RunConfig) -> AsyncStrategy {
+        AsyncStrategy {
             plan,
             rank,
             cfg_window: cfg.rpc_window,
             cfg_req_bytes: cfg.req_bytes,
-            rpc_inject: SimTime::from_ns(machine.rpc_inject_ns),
-            rpc_service: SimTime::from_ns(machine.rpc_service_ns),
             next_req: 0,
             in_flight: 0,
             ready: VecDeque::new(),
@@ -272,45 +191,29 @@ impl AsyncRank {
             groups_done: 0,
             poll_scheduled: false,
             entered_exit: false,
-            drop_period: cfg.rpc_drop_period,
-            unreliable: cfg.rpc_drop_period > 0 || cfg.fault.message_faults_possible(),
-            backoff_base: SimTime::from_ns(cfg.rpc_timeout_ns),
-            backoff_max: SimTime::from_ns(cfg.rpc_backoff_max_ns.max(cfg.rpc_timeout_ns)),
-            max_retries: cfg.rpc_max_retries,
-            fault_seed: cfg.fault.seed,
-            served: 0,
-            arrived: vec![false; ngroups],
-            attempts: vec![0; ngroups],
-            failed: None,
-            drops_injected: 0,
-            retries: 0,
-            dup_replies: 0,
             tasks_done: 0,
         }
     }
 
-    /// Backoff-with-jitter delay before giving up on `attempt` of the
-    /// request for `read`.
-    fn retry_delay(&self, read: u32, attempt: u32) -> SimTime {
-        gnb_sim::backoff_delay(
-            self.backoff_base,
-            self.backoff_max,
-            attempt,
-            self.fault_seed ^ (self.rank as u64) << 32,
-            read as u64,
+    /// Creates the full runtime-hosted rank program.
+    pub fn program(
+        plan: Arc<AsyncPlan>,
+        rank: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+    ) -> RankRuntime<AsyncStrategy> {
+        RankRuntime::new(
+            AsyncStrategy::new(plan, rank, cfg),
+            rank,
+            RuntimeConfig::from_run(machine, cfg),
         )
-    }
-
-    /// This rank's task checksum (valid any time).
-    pub fn checksum(&self) -> u64 {
-        self.plan.per_rank[self.rank].checksum
     }
 
     fn me(&self) -> &AsyncRankPlan {
         &self.plan.per_rank[self.rank]
     }
 
-    fn issue_requests(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+    fn issue_requests(&mut self, rt: &mut ACtx<'_, '_>) {
         // Flow control by consumption: the window bounds requests in
         // flight *plus* replies buffered but not yet computed, so per-rank
         // memory stays window-bounded (the paper's "no more than 1 remote
@@ -321,25 +224,13 @@ impl AsyncRank {
         {
             let g = &self.plan.per_rank[self.rank].groups[self.next_req];
             let (owner, read) = (g.owner as usize, g.read);
-            // Injection costs CPU (GASNet-EX style AM injection).
-            ctx.advance(self.rpc_inject, TimeCategory::Overhead);
-            ctx.send(
-                owner,
-                self.cfg_req_bytes,
-                AsyncMsg::Req { read, attempt: 0 },
-            );
-            if self.unreliable {
-                ctx.after(
-                    self.retry_delay(read, 0),
-                    AsyncMsg::Timeout { read, attempt: 0 },
-                );
-            }
+            rt.send_tracked(read as u64, owner, self.cfg_req_bytes, ());
             self.in_flight += 1;
             self.next_req += 1;
         }
     }
 
-    fn ensure_poll(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+    fn ensure_poll(&mut self, rt: &mut ACtx<'_, '_>) {
         let has_work = !self.ready.is_empty() || self.next_local < self.me().local_chunks.len();
         if !self.poll_scheduled && has_work {
             // One tick later, not zero: requests and replies that queued up
@@ -347,17 +238,17 @@ impl AsyncRank {
             // next unit of compute — this is the "application-level
             // polling" between tasks that UPC++ requires (§3.2). A zero
             // delay would let the poll chain starve queued RPCs.
-            ctx.after(SimTime::from_ns(1), AsyncMsg::Poll);
+            rt.after_app(SimTime::from_ns(1), AsyncApp::Poll);
             self.poll_scheduled = true;
         }
     }
 
-    fn maybe_finish(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
+    fn maybe_finish(&mut self, rt: &mut ACtx<'_, '_>) {
         let me_done = self.next_local >= self.me().local_chunks.len()
             && self.groups_done == self.me().groups.len();
         if me_done && !self.entered_exit {
             self.entered_exit = true;
-            ctx.barrier_enter(BAR_EXIT);
+            rt.barrier_enter(BAR_EXIT);
         }
     }
 
@@ -372,164 +263,97 @@ impl AsyncRank {
     /// still have requests in flight we were hiding (failing to hide)
     /// communication; otherwise we are done and waiting at the exit
     /// barrier — synchronization.
-    fn classify_foreign_idle(&self, ctx: &mut Ctx<'_, AsyncMsg>) {
+    fn classify_foreign_idle(&self, rt: &mut ACtx<'_, '_>) {
         if self.in_flight > 0 {
-            ctx.classify_idle(TimeCategory::Comm);
+            rt.classify_idle(TimeCategory::Comm);
         } else {
-            ctx.classify_idle(TimeCategory::Sync);
+            rt.classify_idle(TimeCategory::Sync);
         }
     }
 }
 
-impl Program<AsyncMsg> for AsyncRank {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, AsyncMsg>) {
-        ctx.mem_alloc(self.me().static_bytes);
+impl CoordinationStrategy for AsyncStrategy {
+    type App = AsyncApp;
+    type Req = ();
+    type Rep = ();
+
+    fn on_start(&mut self, rt: &mut ACtx<'_, '_>) {
+        rt.mem_alloc(self.me().static_bytes);
         // Split-phase barrier: enter the registration phase, then overlap
         // local work and request issue while others register.
-        ctx.barrier_enter(BAR_REG);
-        self.issue_requests(ctx);
-        self.ensure_poll(ctx);
-        self.maybe_finish(ctx);
+        rt.barrier_enter(BAR_REG);
+        self.issue_requests(rt);
+        self.ensure_poll(rt);
+        self.maybe_finish(rt);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, AsyncMsg>, src: usize, msg: AsyncMsg) {
-        match msg {
-            AsyncMsg::Req { read, attempt } => {
-                self.classify_foreign_idle(ctx);
-                // Owner-side lookup of the (immutable) partition entry.
-                ctx.race_read(read as u64);
-                // Service the lookup and ship the read back. Servicing a
-                // retried request is fault-induced work: recovery, not the
-                // algorithm's own overhead.
-                let cat = if attempt > 0 {
-                    TimeCategory::Recovery
-                } else {
-                    TimeCategory::Overhead
-                };
-                ctx.advance(self.rpc_service, cat);
-                self.served += 1;
-                if self.drop_period > 0 && self.served.is_multiple_of(self.drop_period) {
-                    // Failure injection: the reply is lost on the wire.
-                    self.drops_injected += 1;
-                    return;
-                }
-                let bytes = self.plan.lengths[read as usize] as u64;
-                ctx.send(src, bytes, AsyncMsg::Rep { read, attempt });
-            }
-            AsyncMsg::Rep { read, attempt: _ } => {
-                // Reply receipt updates the group's arrival state; a
-                // duplicate reply landing at the same virtual time as the
-                // original would be resolved by queue tie-break alone —
-                // exactly what the race detector exists to flag.
-                ctx.race_write(read as u64);
-                let gidx = self.group_index(read);
-                if self.arrived[gidx] {
-                    // Duplicate: a wire-duplicated copy or a retry that
-                    // raced the original reply. The AM handler still ran —
-                    // book its cost as recovery and discard. Any attempt
-                    // number is acceptable: the payload is the same read.
-                    self.dup_replies += 1;
-                    ctx.classify_idle(TimeCategory::Recovery);
-                    ctx.advance(self.rpc_service, TimeCategory::Recovery);
-                    return;
-                }
-                // Idle that a reply terminates is unhidden communication.
-                ctx.classify_idle(TimeCategory::Comm);
-                self.arrived[gidx] = true;
-                ctx.mem_alloc(self.plan.per_rank[self.rank].groups[gidx].bytes);
-                self.in_flight -= 1;
-                self.ready.push_back(gidx);
-                self.ensure_poll(ctx);
-            }
-            AsyncMsg::Timeout { read, attempt } => {
-                // Idle ended by a retry timer is time lost to (suspected)
-                // faults, whatever the timer's fate below.
-                ctx.classify_idle(TimeCategory::Recovery);
-                // The stale-check below reads/writes the same arrival and
-                // attempt state a reply writes: a timer firing at the very
-                // instant the reply arrives is tie-break-resolved.
-                ctx.race_write(read as u64);
-                let gidx = self.group_index(read);
-                if self.arrived[gidx] || attempt != self.attempts[gidx] {
-                    // Stale timer: the reply arrived (or a newer attempt
-                    // owns the request). No-op, and crucially do NOT
-                    // re-arm — completed requests must not keep timers
-                    // circulating in the event queue.
-                    return;
-                }
-                if attempt >= self.max_retries {
-                    // Retry budget exhausted: give up on this read so the
-                    // run terminates with a structured error instead of
-                    // retrying (or hanging) forever. The group is
-                    // abandoned; its tasks stay undone, which the driver
-                    // turns into RunError::RetryBudgetExhausted.
-                    if self.failed.is_none() {
-                        self.failed = Some(RecoveryFailure {
-                            read,
-                            attempts: attempt + 1,
-                        });
-                    }
-                    self.arrived[gidx] = true;
-                    self.in_flight -= 1;
-                    self.groups_done += 1;
-                    self.issue_requests(ctx);
-                    self.ensure_poll(ctx);
-                    self.maybe_finish(ctx);
-                    return;
-                }
-                // Reply presumed lost: re-issue with the next attempt
-                // number and arm a fresh (backed-off) timer for it.
-                let next = attempt + 1;
-                self.attempts[gidx] = next;
-                self.retries += 1;
-                let owner = self.plan.per_rank[self.rank].groups[gidx].owner as usize;
-                ctx.advance(self.rpc_inject, TimeCategory::Recovery);
-                ctx.send(
-                    owner,
-                    self.cfg_req_bytes,
-                    AsyncMsg::Req {
-                        read,
-                        attempt: next,
-                    },
-                );
-                ctx.after(
-                    self.retry_delay(read, next),
-                    AsyncMsg::Timeout {
-                        read,
-                        attempt: next,
-                    },
-                );
-            }
-            AsyncMsg::Poll => {
-                self.poll_scheduled = false;
-                if let Some(gidx) = self.ready.pop_front() {
-                    let g = &self.plan.per_rank[self.rank].groups[gidx];
-                    let (oh, cp, n, bytes) = (g.overhead, g.compute, g.tasks, g.bytes);
-                    ctx.advance(oh, TimeCategory::Overhead);
-                    ctx.advance(cp, TimeCategory::Compute);
-                    ctx.mem_free(bytes);
-                    self.tasks_done += n;
-                    self.groups_done += 1;
-                    // Consumption frees a window slot: pull the next read.
-                    self.issue_requests(ctx);
-                } else if self.next_local < self.me().local_chunks.len() {
-                    let (cp, oh, n) = self.plan.per_rank[self.rank].local_chunks[self.next_local];
-                    ctx.advance(oh, TimeCategory::Overhead);
-                    ctx.advance(cp, TimeCategory::Compute);
-                    self.tasks_done += n;
-                    self.next_local += 1;
-                }
-                self.ensure_poll(ctx);
-                self.maybe_finish(ctx);
-            }
+    fn on_app(&mut self, rt: &mut ACtx<'_, '_>, _src: usize, msg: AsyncApp) {
+        let AsyncApp::Poll = msg;
+        self.poll_scheduled = false;
+        if let Some(gidx) = self.ready.pop_front() {
+            let g = &self.plan.per_rank[self.rank].groups[gidx];
+            let (oh, cp, n, bytes) = (g.overhead, g.compute, g.tasks, g.bytes);
+            rt.advance(oh, TimeCategory::Overhead);
+            rt.advance(cp, TimeCategory::Compute);
+            rt.mem_free(bytes);
+            self.tasks_done += n;
+            self.groups_done += 1;
+            // Consumption frees a window slot: pull the next read.
+            self.issue_requests(rt);
+        } else if self.next_local < self.me().local_chunks.len() {
+            let (cp, oh, n) = self.plan.per_rank[self.rank].local_chunks[self.next_local];
+            rt.advance(oh, TimeCategory::Overhead);
+            rt.advance(cp, TimeCategory::Compute);
+            self.tasks_done += n;
+            self.next_local += 1;
         }
+        self.ensure_poll(rt);
+        self.maybe_finish(rt);
     }
 
-    fn on_barrier(&mut self, ctx: &mut Ctx<'_, AsyncMsg>, id: u64) {
+    fn on_request(&mut self, rt: &mut ACtx<'_, '_>, src: usize, key: u64, attempt: u32, _p: ()) {
+        self.classify_foreign_idle(rt);
+        // Owner-side lookup of the (immutable) partition entry.
+        rt.race_read(key);
+        // One lookup unit; the reply ships the read itself.
+        let bytes = self.plan.lengths[key as usize] as u64;
+        rt.serve_reply(src, key, attempt, bytes, 1, ());
+    }
+
+    fn on_reply(&mut self, rt: &mut ACtx<'_, '_>, key: u64, _p: ()) {
+        let gidx = self.group_index(key as u32);
+        rt.mem_alloc(self.plan.per_rank[self.rank].groups[gidx].bytes);
+        self.in_flight -= 1;
+        self.ready.push_back(gidx);
+        self.ensure_poll(rt);
+    }
+
+    fn on_give_up(&mut self, rt: &mut ACtx<'_, '_>, _key: u64) {
+        // The group is abandoned; its tasks stay undone, which the driver
+        // turns into RunError::RetryBudgetExhausted. Unwind the window so
+        // the rank still drains its remaining work and reaches the exit
+        // barrier.
+        self.in_flight -= 1;
+        self.groups_done += 1;
+        self.issue_requests(rt);
+        self.ensure_poll(rt);
+        self.maybe_finish(rt);
+    }
+
+    fn on_barrier(&mut self, rt: &mut ACtx<'_, '_>, id: u64) {
         // Waiting that ends at a barrier is synchronization time (split
         // phase or exit).
-        ctx.classify_idle(TimeCategory::Sync);
+        rt.classify_idle(TimeCategory::Sync);
         debug_assert!(id == BAR_REG || id == BAR_EXIT);
+    }
+
+    fn tasks_done(&self) -> u64 {
+        self.tasks_done
+    }
+
+    /// This rank's task checksum (valid any time).
+    fn checksum(&self) -> u64 {
+        self.plan.per_rank[self.rank].checksum
     }
 }
 
@@ -562,13 +386,16 @@ mod tests {
         MachineConfig::cori_knl(1).with_cores_per_node(cores)
     }
 
-    fn run(nranks: usize, cfg: &RunConfig) -> (Vec<AsyncRank>, gnb_sim::engine::SimReport) {
+    fn run(
+        nranks: usize,
+        cfg: &RunConfig,
+    ) -> (Vec<RankRuntime<AsyncStrategy>>, gnb_sim::engine::SimReport) {
         let w = workload(nranks);
         w.validate();
         let m = machine(nranks);
         let plan = Arc::new(plan_async(&w, &m, cfg));
-        let mut progs: Vec<AsyncRank> = (0..nranks)
-            .map(|r| AsyncRank::new(Arc::clone(&plan), r, &m, cfg))
+        let mut progs: Vec<RankRuntime<AsyncStrategy>> = (0..nranks)
+            .map(|r| AsyncStrategy::program(Arc::clone(&plan), r, &m, cfg))
             .collect();
         let report = Engine::new(nranks, m.net).run(&mut progs);
         (progs, report)
@@ -578,7 +405,7 @@ mod tests {
     fn all_tasks_complete_exactly_once() {
         for nranks in [1, 2, 4, 8] {
             let (progs, _) = run(nranks, &RunConfig::default());
-            let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
+            let done: u64 = progs.iter().map(|p| p.tasks_done()).sum();
             assert_eq!(
                 done as usize,
                 workload(nranks).total_tasks,
@@ -590,7 +417,7 @@ mod tests {
     #[test]
     fn single_rank_never_communicates() {
         let (progs, report) = run(1, &RunConfig::default());
-        assert_eq!(progs[0].tasks_done as usize, workload(1).total_tasks);
+        assert_eq!(progs[0].tasks_done() as usize, workload(1).total_tasks);
         assert_eq!(
             report.ranks[0].ledger[TimeCategory::Comm as usize],
             SimTime::ZERO
@@ -604,7 +431,7 @@ mod tests {
             ..RunConfig::default()
         };
         let (progs, _) = run(4, &cfg);
-        let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
+        let done: u64 = progs.iter().map(|p| p.tasks_done()).sum();
         assert_eq!(done as usize, workload(4).total_tasks);
     }
 
@@ -682,8 +509,8 @@ mod tests {
         let (p1, r1) = run(4, &RunConfig::default());
         let (p2, r2) = run(4, &RunConfig::default());
         assert_eq!(r1, r2);
-        let d1: Vec<u64> = p1.iter().map(|p| p.tasks_done).collect();
-        let d2: Vec<u64> = p2.iter().map(|p| p.tasks_done).collect();
+        let d1: Vec<u64> = p1.iter().map(|p| p.tasks_done()).collect();
+        let d2: Vec<u64> = p2.iter().map(|p| p.tasks_done()).collect();
         assert_eq!(d1, d2);
     }
 
@@ -695,14 +522,14 @@ mod tests {
             ..RunConfig::default()
         };
         let (progs, report) = run(4, &cfg);
-        let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
+        let done: u64 = progs.iter().map(|p| p.tasks_done()).sum();
         assert_eq!(
             done as usize,
             workload(4).total_tasks,
             "all tasks despite drops"
         );
-        let drops: u64 = progs.iter().map(|p| p.drops_injected).sum();
-        let retries: u64 = progs.iter().map(|p| p.retries).sum();
+        let drops: u64 = progs.iter().map(|p| p.recovery().drops_injected).sum();
+        let retries: u64 = progs.iter().map(|p| p.recovery().retries).sum();
         assert!(drops > 0, "injection must actually fire");
         assert!(retries >= drops, "every dropped reply forces a retry");
         // And the lossy run is slower than the reliable one.
@@ -715,6 +542,6 @@ mod tests {
         let (progs, _) = run(4, &RunConfig::default());
         assert!(progs
             .iter()
-            .all(|p| p.drops_injected == 0 && p.retries == 0));
+            .all(|p| p.recovery().drops_injected == 0 && p.recovery().retries == 0));
     }
 }

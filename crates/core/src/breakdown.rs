@@ -112,6 +112,31 @@ impl RuntimeBreakdown {
     pub fn tsv_header() -> &'static str {
         "total_s\tcompute_s\toverhead_s\tcomm_s\tsync_s\trecovery_s"
     }
+
+    /// One aligned console row for a labelled breakdown — the shared
+    /// format the multi-series experiment binaries print one line per
+    /// coordination strategy with (see [`Self::console_header`]).
+    pub fn console_row(&self, label: &str) -> String {
+        format!(
+            "{:<9} | {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            label,
+            self.total,
+            self.compute.mean,
+            self.overhead.mean,
+            self.comm.mean,
+            self.sync.mean,
+            self.recovery.mean
+        )
+    }
+
+    /// Header matching [`Self::console_row`], with `label` naming the
+    /// first column (e.g. `"algo"`).
+    pub fn console_header(label: &str) -> String {
+        format!(
+            "{:<9} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            label, "total(s)", "align", "ovhd", "comm", "sync", "recov"
+        )
+    }
 }
 
 impl std::fmt::Display for RuntimeBreakdown {

@@ -13,20 +13,20 @@
 //! waiting at the inter-round barriers (from compute imbalance) is
 //! *synchronization*; flat-array traversal and kernel invocation is
 //! *overhead*.
+//!
+//! Recovery is runtime-owned: the superstep-level detect-and-reissue loop
+//! (and its budget bookkeeping) is [`RtCtx::collective_exchange`] — this
+//! module holds only the superstep state machine.
 
 use crate::driver::RunConfig;
 use crate::machine::MachineConfig;
+use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig};
 use crate::workload::{task_checksum, SimWorkload};
 use gnb_sim::coll::{alltoallv_time, CollParams, ExchangeLoad};
-use gnb_sim::engine::{Ctx, Program, TimeCategory};
+use gnb_sim::engine::TimeCategory;
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
 use std::sync::Arc;
-
-/// Message type: the BSP code never sends point-to-point messages (all
-/// communication is through the modelled collective), so this is empty.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BspMsg {}
 
 /// Precomputed global plan for a BSP run.
 #[derive(Debug, Clone)]
@@ -192,103 +192,96 @@ pub fn plan_bsp(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> Bs
     }
 }
 
-/// One BSP rank: steps through the planned supersteps.
-pub struct BspRank {
+/// The strategy-facing context of the BSP code.
+type BCtx<'c, 'e> = RtCtx<'c, 'e, (), (), ()>;
+
+/// The bulk-synchronous superstep state machine, hosted by
+/// [`RankRuntime`]. All communication is through the modelled collective
+/// ([`RtCtx::collective_exchange`]); the strategy sends no point-to-point
+/// messages and tracks no requests.
+pub struct BspStrategy {
     plan: Arc<BspPlan>,
     rank: usize,
-    /// Fault plan consulted for exchange-round losses (an inactive plan
-    /// never fires).
-    fault: Arc<FaultPlan>,
-    /// Re-issue budget per round.
-    max_retries: u32,
-    /// Exchange rounds this rank re-executed after a detected loss.
-    pub reissued_rounds: u64,
-    /// First round whose re-issue budget ran dry: `(round, attempts)`.
-    pub failed: Option<(u64, u32)>,
-    /// Tasks completed (exposed for verification).
-    pub tasks_done: u64,
+    tasks_done: u64,
 }
 
-impl BspRank {
-    /// Creates the rank program on a reliable machine.
-    pub fn new(plan: Arc<BspPlan>, rank: usize) -> BspRank {
-        BspRank::with_faults(plan, rank, Arc::new(FaultPlan::default()), 0)
-    }
-
-    /// Creates the rank program under a fault plan with a per-round
-    /// exchange re-issue budget.
-    pub fn with_faults(
-        plan: Arc<BspPlan>,
-        rank: usize,
-        fault: Arc<FaultPlan>,
-        max_retries: u32,
-    ) -> BspRank {
-        BspRank {
+impl BspStrategy {
+    /// Creates the superstep state machine for one rank.
+    pub fn new(plan: Arc<BspPlan>, rank: usize) -> BspStrategy {
+        BspStrategy {
             plan,
             rank,
-            fault,
-            max_retries,
-            reissued_rounds: 0,
-            failed: None,
             tasks_done: 0,
         }
     }
 
-    /// This rank's task checksum (valid after the run).
-    pub fn checksum(&self) -> u64 {
-        self.plan.per_rank[self.rank].checksum
+    /// Creates the full runtime-hosted rank program. The fault plan feeds
+    /// the collective detect-and-reissue loop (an inactive plan never
+    /// fires).
+    pub fn program(
+        plan: Arc<BspPlan>,
+        rank: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        fault: Arc<FaultPlan>,
+    ) -> RankRuntime<BspStrategy> {
+        RankRuntime::with_fault_plan(
+            BspStrategy::new(plan, rank),
+            rank,
+            RuntimeConfig::from_run(machine, cfg),
+            fault,
+        )
     }
 }
 
-impl Program<BspMsg> for BspRank {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, BspMsg>) {
-        ctx.mem_alloc(self.plan.per_rank[self.rank].static_bytes);
+impl CoordinationStrategy for BspStrategy {
+    type App = ();
+    type Req = ();
+    type Rep = ();
+
+    fn on_start(&mut self, rt: &mut BCtx<'_, '_>) {
+        rt.mem_alloc(self.plan.per_rank[self.rank].static_bytes);
         // Enter the round-0 exchange.
-        ctx.barrier_enter(0);
+        rt.barrier_enter(0);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, BspMsg>, _src: usize, _msg: BspMsg) {
+    fn on_app(&mut self, _rt: &mut BCtx<'_, '_>, _src: usize, _msg: ()) {
         unreachable!("BSP ranks exchange only through collectives");
     }
 
-    fn on_barrier(&mut self, ctx: &mut Ctx<'_, BspMsg>, id: u64) {
+    fn on_barrier(&mut self, rt: &mut BCtx<'_, '_>, id: u64) {
         // Any wait before a barrier release is synchronization (compute
         // imbalance between supersteps).
-        ctx.classify_idle(TimeCategory::Sync);
+        rt.classify_idle(TimeCategory::Sync);
         let round = id as usize;
         if round >= self.plan.rounds {
             return; // final barrier: run complete
         }
         let me = &self.plan.per_rank[self.rank];
-        // The exchange itself: visible communication.
-        ctx.advance(self.plan.round_comm[round], TimeCategory::Comm);
-        // Superstep-level detect-and-reissue: the fault plan's verdict on
-        // an exchange attempt is rank-independent, so every rank detects
-        // the same loss (a checksum mismatch over the received buffers, in
-        // a real implementation) and re-executes the same exchange —
-        // booked as recovery — without extra coordination. If the budget
-        // runs dry the round's data never arrives: the rank skips its
-        // compute and the driver reports a structured error.
-        let mut attempt = 0u32;
-        while self.fault.bsp_round_lost(id, attempt) {
-            if attempt >= self.max_retries {
-                if self.failed.is_none() {
-                    self.failed = Some((id, attempt + 1));
-                }
-                ctx.barrier_enter(id + 1);
-                return;
-            }
-            attempt += 1;
-            self.reissued_rounds += 1;
-            ctx.advance(self.plan.round_comm[round], TimeCategory::Recovery);
+        // The exchange itself (visible communication) plus the runtime's
+        // superstep-level detect-and-reissue recovery. A dry budget means
+        // the round's data never arrives: skip the compute and let the
+        // driver report a structured error.
+        if !rt.collective_exchange(id, self.plan.round_comm[round]) {
+            rt.barrier_enter(id + 1);
+            return;
         }
-        ctx.mem_alloc(me.alloc_bytes[round]);
+        rt.mem_alloc(me.alloc_bytes[round]);
         // Compute everything associated with the received reads.
-        ctx.advance(me.overhead[round], TimeCategory::Overhead);
-        ctx.advance(me.compute[round], TimeCategory::Compute);
+        rt.advance(me.overhead[round], TimeCategory::Overhead);
+        rt.advance(me.compute[round], TimeCategory::Compute);
         self.tasks_done += me.tasks[round];
-        ctx.mem_free(me.alloc_bytes[round]);
-        ctx.barrier_enter(id + 1);
+        rt.mem_free(me.alloc_bytes[round]);
+        rt.barrier_enter(id + 1);
+    }
+
+    fn tasks_done(&self) -> u64 {
+        self.tasks_done
+    }
+
+    /// This rank's task checksum (valid after the run).
+    fn checksum(&self) -> u64 {
+        self.plan.per_rank[self.rank].checksum
     }
 }
 

@@ -1,11 +1,14 @@
 //! Experiment driver: runs a fixed workload under either coordination code
 //! on a simulated machine and extracts the paper's measurement set.
 
-use crate::async_alg::{plan_async, AsyncRank};
+use crate::agg_async::AggAsyncStrategy;
+use crate::async_alg::{plan_async, AsyncStrategy};
 use crate::breakdown::RuntimeBreakdown;
-use crate::bsp::{plan_bsp, BspRank};
+use crate::bsp::{plan_bsp, BspStrategy};
 use crate::cost::CostModel;
 use crate::machine::MachineConfig;
+pub use crate::runtime::RecoveryStats;
+use crate::runtime::{CoordinationStrategy, RankRuntime};
 use crate::workload::SimWorkload;
 use gnb_sim::engine::SimReport;
 use gnb_sim::fault::{FaultConfig, FaultStats};
@@ -21,6 +24,14 @@ pub enum Algorithm {
     Bsp,
     /// Asynchronous (paper §3.2).
     Async,
+    /// Asynchronous with destination-coalesced request/reply batches
+    /// (the §5 middle ground; [`crate::agg_async`]).
+    AggAsync,
+}
+
+impl Algorithm {
+    /// All strategies, in the order experiment sweeps emit them.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Bsp, Algorithm::Async, Algorithm::AggAsync];
 }
 
 impl std::fmt::Display for Algorithm {
@@ -28,6 +39,7 @@ impl std::fmt::Display for Algorithm {
         match self {
             Algorithm::Bsp => write!(f, "BSP"),
             Algorithm::Async => write!(f, "Async"),
+            Algorithm::AggAsync => write!(f, "AggAsync"),
         }
     }
 }
@@ -42,6 +54,13 @@ pub struct RunConfig {
     pub rpc_window: usize,
     /// Request message size, bytes.
     pub req_bytes: u64,
+    /// Aggregation threshold of [`Algorithm::AggAsync`]: a per-owner
+    /// batch ships when it holds this many reads.
+    pub agg_batch: usize,
+    /// Flush timeout of [`Algorithm::AggAsync`], ns: no read waits in a
+    /// pending batch longer than this (plus deterministic jitter) before
+    /// the batch ships anyway.
+    pub agg_flush_ns: u64,
     /// Flat-array traversal + kernel invocation overhead per task (BSP),
     /// ns on a simulated core.
     pub overhead_ns_per_task_bsp: u64,
@@ -128,6 +147,13 @@ impl Default for RunConfig {
             // expt_window sweeps this parameter.
             rpc_window: 128,
             req_bytes: 64,
+            // Deep enough to amortize the per-message α over a useful
+            // batch, small enough that the first flush happens well before
+            // the window drains (expt_f07's crossover region is the
+            // target). 25 µs keeps a sub-threshold tail's extra latency
+            // under one per-task overhead.
+            agg_batch: 16,
+            agg_flush_ns: 25_000,
             overhead_ns_per_task_bsp: 20_000,
             overhead_ns_per_task_async: 45_000,
             os_noise: 0.0,
@@ -197,20 +223,6 @@ impl std::fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
-
-/// Recovery-machinery counters aggregated across ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RecoveryStats {
-    /// Requests re-issued after a timeout (async).
-    pub retries: u64,
-    /// Duplicate replies received and discarded (async).
-    pub dup_replies: u64,
-    /// Replies deliberately dropped by the legacy owner-side injector.
-    pub drops_injected: u64,
-    /// Exchange rounds re-executed after a detected loss (BSP), summed
-    /// over ranks.
-    pub reissued_rounds: u64,
-}
 
 /// Everything measured from one run.
 #[derive(Debug, Clone)]
@@ -303,59 +315,57 @@ pub fn try_run_sim(
         }
         engine.with_tie_break(cfg.tie_break)
     }
+    /// Strategy-independent result extraction: tasks, checksum, unified
+    /// recovery counters, first retry-budget exhaustion.
+    fn collect<S: CoordinationStrategy>(
+        algo: Algorithm,
+        progs: &[RankRuntime<S>],
+    ) -> (u64, u64, RecoveryStats, Option<RunError>) {
+        let done: u64 = progs.iter().map(|p| p.tasks_done()).sum();
+        let sum = progs
+            .iter()
+            .fold(0u64, |acc, p| acc.wrapping_add(p.checksum()));
+        let mut recovery = RecoveryStats::default();
+        for p in progs {
+            recovery.absorb(p.recovery());
+        }
+        let failure = progs.iter().enumerate().find_map(|(r, p)| {
+            p.failure().map(|f| RunError::RetryBudgetExhausted {
+                algorithm: algo,
+                rank: r,
+                key: f.key,
+                attempts: f.attempts,
+            })
+        });
+        (done, sum, recovery, failure)
+    }
     let (report, tasks_done, checksum, rounds, recovery, first_failure) = match algo {
         Algorithm::Bsp => {
             let plan = Arc::new(plan_bsp(workload, machine, cfg));
             let fp = Arc::new(fault_plan.clone());
-            let mut progs: Vec<BspRank> = (0..nranks)
-                .map(|r| {
-                    BspRank::with_faults(Arc::clone(&plan), r, Arc::clone(&fp), cfg.rpc_max_retries)
-                })
+            let mut progs: Vec<_> = (0..nranks)
+                .map(|r| BspStrategy::program(Arc::clone(&plan), r, machine, cfg, Arc::clone(&fp)))
                 .collect();
             let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
-            let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
-            let sum = progs
-                .iter()
-                .fold(0u64, |acc, p| acc.wrapping_add(p.checksum()));
-            let recovery = RecoveryStats {
-                reissued_rounds: progs.iter().map(|p| p.reissued_rounds).sum(),
-                ..RecoveryStats::default()
-            };
-            let failure = progs.iter().enumerate().find_map(|(r, p)| {
-                p.failed
-                    .map(|(round, attempts)| RunError::RetryBudgetExhausted {
-                        algorithm: algo,
-                        rank: r,
-                        key: round,
-                        attempts,
-                    })
-            });
+            let (done, sum, recovery, failure) = collect(algo, &progs);
             (report, done, sum, plan.rounds, recovery, failure)
         }
         Algorithm::Async => {
             let plan = Arc::new(plan_async(workload, machine, cfg));
-            let mut progs: Vec<AsyncRank> = (0..nranks)
-                .map(|r| AsyncRank::new(Arc::clone(&plan), r, machine, cfg))
+            let mut progs: Vec<_> = (0..nranks)
+                .map(|r| AsyncStrategy::program(Arc::clone(&plan), r, machine, cfg))
                 .collect();
             let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
-            let done: u64 = progs.iter().map(|p| p.tasks_done).sum();
-            let sum = progs
-                .iter()
-                .fold(0u64, |acc, p| acc.wrapping_add(p.checksum()));
-            let recovery = RecoveryStats {
-                retries: progs.iter().map(|p| p.retries).sum(),
-                dup_replies: progs.iter().map(|p| p.dup_replies).sum(),
-                drops_injected: progs.iter().map(|p| p.drops_injected).sum(),
-                ..RecoveryStats::default()
-            };
-            let failure = progs.iter().enumerate().find_map(|(r, p)| {
-                p.failed.map(|f| RunError::RetryBudgetExhausted {
-                    algorithm: algo,
-                    rank: r,
-                    key: f.read as u64,
-                    attempts: f.attempts,
-                })
-            });
+            let (done, sum, recovery, failure) = collect(algo, &progs);
+            (report, done, sum, 1, recovery, failure)
+        }
+        Algorithm::AggAsync => {
+            let plan = Arc::new(plan_async(workload, machine, cfg));
+            let mut progs: Vec<_> = (0..nranks)
+                .map(|r| AggAsyncStrategy::program(Arc::clone(&plan), r, machine, cfg))
+                .collect();
+            let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
+            let (done, sum, recovery, failure) = collect(algo, &progs);
             (report, done, sum, 1, recovery, failure)
         }
     };

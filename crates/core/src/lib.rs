@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agg_async;
 pub mod async_alg;
 pub mod breakdown;
 pub mod bsp;
@@ -47,6 +48,7 @@ pub mod kmer_stage;
 pub mod machine;
 pub mod pipeline;
 pub mod prelude_stage;
+pub mod runtime;
 pub mod workload;
 
 pub use breakdown::RuntimeBreakdown;

@@ -1,4 +1,4 @@
-//! Determinism suite for the two coordination codes (DESIGN.md
+//! Determinism suite for the three coordination codes (DESIGN.md
 //! "Determinism contract"): the virtual-time race detector must report
 //! zero conflicts on fault-free default configurations, and fault-free
 //! results must be invariant under the equal-time tie-break perturbation.
@@ -28,13 +28,16 @@ fn fault_free_default_configs_report_zero_races() {
         detect_races: true,
         ..RunConfig::default()
     };
-    for algo in [Algorithm::Bsp, Algorithm::Async] {
+    for algo in Algorithm::ALL {
         let res = run_sim(&w, &m, algo, &cfg);
         let races = res.races().expect("detection enabled");
         assert!(races.is_clean(), "{algo}: {:?}", races.records);
-        // The async run is instrumented, so coverage must be non-zero.
-        if algo == Algorithm::Async {
-            assert!(races.groups_checked > 0, "instrumentation never fired");
+        // The async runs are instrumented, so coverage must be non-zero.
+        if algo != Algorithm::Bsp {
+            assert!(
+                races.groups_checked > 0,
+                "{algo}: instrumentation never fired"
+            );
         }
     }
 }
@@ -43,27 +46,29 @@ fn fault_free_default_configs_report_zero_races() {
 fn race_detection_does_not_change_results() {
     let m = machine(2, 4);
     let w = workload(m.nranks());
-    let plain = run_sim(&w, &m, Algorithm::Async, &RunConfig::default());
-    let detected = run_sim(
-        &w,
-        &m,
-        Algorithm::Async,
-        &RunConfig {
-            detect_races: true,
-            ..RunConfig::default()
-        },
-    );
-    assert_eq!(plain.tasks_done, detected.tasks_done);
-    assert_eq!(plain.task_checksum, detected.task_checksum);
-    assert_eq!(plain.breakdown, detected.breakdown);
-    assert_eq!(plain.events, detected.events);
+    for algo in Algorithm::ALL {
+        let plain = run_sim(&w, &m, algo, &RunConfig::default());
+        let detected = run_sim(
+            &w,
+            &m,
+            algo,
+            &RunConfig {
+                detect_races: true,
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(plain.tasks_done, detected.tasks_done, "{algo}");
+        assert_eq!(plain.task_checksum, detected.task_checksum, "{algo}");
+        assert_eq!(plain.breakdown, detected.breakdown, "{algo}");
+        assert_eq!(plain.events, detected.events, "{algo}");
+    }
 }
 
 #[test]
 fn fault_free_checksums_invariant_under_tie_break_perturbation() {
     let m = machine(2, 4);
     let w = workload(m.nranks());
-    for algo in [Algorithm::Bsp, Algorithm::Async] {
+    for algo in Algorithm::ALL {
         let run = |tb: TieBreak| {
             run_sim(
                 &w,
@@ -99,12 +104,18 @@ fn faulty_runs_with_detection_still_complete_and_stay_deterministic() {
         detect_races: true,
         ..RunConfig::default()
     };
-    let a = run_sim(&w, &m, Algorithm::Async, &cfg);
-    let b = run_sim(&w, &m, Algorithm::Async, &cfg);
-    assert_eq!(a.tasks_done as usize, w.total_tasks);
-    assert!(a.recovery.retries > 0, "injection must actually fire");
-    assert_eq!(
-        a.races().map(|r| r.records.clone()),
-        b.races().map(|r| r.records.clone())
-    );
+    for algo in [Algorithm::Async, Algorithm::AggAsync] {
+        let a = run_sim(&w, &m, algo, &cfg);
+        let b = run_sim(&w, &m, algo, &cfg);
+        assert_eq!(a.tasks_done as usize, w.total_tasks, "{algo}");
+        assert!(
+            a.recovery.retries > 0,
+            "{algo}: injection must actually fire"
+        );
+        assert_eq!(
+            a.races().map(|r| r.records.clone()),
+            b.races().map(|r| r.records.clone()),
+            "{algo}"
+        );
+    }
 }

@@ -101,6 +101,10 @@ pub struct Ctx<'a, M> {
     /// Idle gap between the previous handler's end and this handler's
     /// start, awaiting classification.
     idle_pending: SimTime,
+    /// Ledger-scope override: when set, every [`Ctx::advance`] in the rest
+    /// of this handler books into this category instead of the requested
+    /// one (see [`Ctx::ledger_scope`]). Reset at each handler dispatch.
+    scope: Option<TimeCategory>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -126,6 +130,7 @@ impl<'a, M> Ctx<'a, M> {
     /// factor; the *excess* is booked under [`TimeCategory::Recovery`], so
     /// the base categories always report the fault-free cost.
     pub fn advance(&mut self, dt: SimTime, cat: TimeCategory) {
+        let cat = self.scope.unwrap_or(cat);
         let start = self.now;
         self.now += dt;
         self.core.ledger[self.rank][cat as usize] += dt;
@@ -150,6 +155,21 @@ impl<'a, M> Ctx<'a, M> {
                 }
             }
         }
+    }
+
+    /// Sets the ledger scope for the remainder of this handler and returns
+    /// the previous scope. While a scope is active, every [`Ctx::advance`]
+    /// books into the scoped category regardless of the category the call
+    /// requests — the hook runtime layers use to re-book a shared code
+    /// path wholesale (e.g. a *retried* request injection is recovery
+    /// work, not the algorithm's own overhead). Scopes do not survive the
+    /// handler: each dispatch starts unscoped.
+    ///
+    /// Note the scoped category decides straggler-inflation eligibility:
+    /// a CPU-bound advance re-booked as [`TimeCategory::Recovery`] is not
+    /// inflated further, exactly as if the caller had requested Recovery.
+    pub fn ledger_scope(&mut self, cat: Option<TimeCategory>) -> Option<TimeCategory> {
+        std::mem::replace(&mut self.scope, cat)
     }
 
     /// Books the pending idle gap (time this rank spent waiting for the
@@ -213,6 +233,30 @@ impl<'a, M> Ctx<'a, M> {
                 msg,
             },
         );
+    }
+
+    /// Sends `msg` to `dst` (through the network model, so subject to any
+    /// [`FaultPlan`]) and, in the same handler step, arms `timer_msg` as a
+    /// self-timer `timer_delay` from now.
+    ///
+    /// This is the typed send helper for guarded requests: the timer goes
+    /// through the [`Ctx::after`] path, which — per the fault-injection
+    /// contract — never consults the fault plan, so a retry/flush timer
+    /// cannot be lost even when every wire message is dropped. The send
+    /// happens first: fault decisions consume the same per-message
+    /// sequence numbers as an unguarded [`Ctx::send`] would.
+    pub fn send_with_timer(
+        &mut self,
+        dst: usize,
+        bytes: u64,
+        msg: M,
+        timer_delay: SimTime,
+        timer_msg: M,
+    ) where
+        M: Clone,
+    {
+        self.send(dst, bytes, msg);
+        self.after(timer_delay, timer_msg);
     }
 
     /// Schedules `msg` back to this rank after `delay` (a self-timer; no
@@ -457,6 +501,7 @@ impl<M> Engine<M> {
                 rank: r,
                 now: ev.time,
                 idle_pending: idle,
+                scope: None,
             };
             match ev.payload {
                 EventPayload::Start => programs[r].on_start(&mut ctx),
@@ -969,6 +1014,113 @@ mod tests {
                 .run(&mut progs)
         };
         assert_eq!(run(TieBreak::Fifo), run(TieBreak::Lifo));
+    }
+
+    #[test]
+    fn ledger_scope_redirects_advance() {
+        struct ScopedProg;
+        impl Program<Msg> for ScopedProg {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.advance(SimTime::from_us(1), TimeCategory::Overhead);
+                let prev = ctx.ledger_scope(Some(TimeCategory::Recovery));
+                assert_eq!(prev, None);
+                // Booked as Recovery despite requesting Overhead/Compute.
+                ctx.advance(SimTime::from_us(2), TimeCategory::Overhead);
+                ctx.advance(SimTime::from_us(3), TimeCategory::Compute);
+                let prev = ctx.ledger_scope(None);
+                assert_eq!(prev, Some(TimeCategory::Recovery));
+                ctx.advance(SimTime::from_us(4), TimeCategory::Compute);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _src: usize, _msg: Msg) {}
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs = vec![ScopedProg];
+        let report = Engine::new(1, small_net()).run(&mut progs);
+        let l = &report.ranks[0].ledger;
+        assert_eq!(l[TimeCategory::Overhead as usize], SimTime::from_us(1));
+        assert_eq!(l[TimeCategory::Recovery as usize], SimTime::from_us(5));
+        assert_eq!(l[TimeCategory::Compute as usize], SimTime::from_us(4));
+    }
+
+    /// The fault-injection contract (see `fault`): self-timers never
+    /// consult the fault plan. Even a plan that drops *every* wire message
+    /// cannot drop a timer armed via `after` or `send_with_timer`.
+    #[test]
+    fn self_timers_survive_drop_everything_plan() {
+        use crate::fault::FaultPlan;
+        struct GuardedSender {
+            timer_fired: bool,
+            reply_got: bool,
+        }
+        impl Program<Msg> for GuardedSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                if ctx.rank() == 0 {
+                    ctx.send_with_timer(1, 100, Msg::Ping, SimTime::from_us(50), Msg::Tick);
+                    ctx.after(SimTime::from_us(60), Msg::Tick);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: usize, msg: Msg) {
+                match msg {
+                    Msg::Tick => {
+                        assert_eq!(src, ctx.rank());
+                        self.timer_fired = true;
+                    }
+                    Msg::Ping => ctx.send(src, 100, Msg::Pong),
+                    Msg::Pong => self.reply_got = true,
+                }
+            }
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs: Vec<GuardedSender> = (0..2)
+            .map(|_| GuardedSender {
+                timer_fired: false,
+                reply_got: false,
+            })
+            .collect();
+        let plan = FaultPlan::new(7).with_message_faults(1.0, 0.0, 0.0, 0);
+        let report = Engine::new(2, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        // The wire message was lost, but both timers fired regardless.
+        assert_eq!(report.faults.msgs_dropped, 1);
+        assert!(!progs[0].reply_got);
+        assert!(progs[0].timer_fired);
+    }
+
+    #[test]
+    fn send_with_timer_matches_send_then_after() {
+        // The helper must consume fault/sequence state exactly like the
+        // two separate calls, so adopting it is behavior-preserving.
+        use crate::fault::FaultPlan;
+        fn run(helper: bool) -> SimReport {
+            struct P {
+                helper: bool,
+            }
+            impl Program<Msg> for P {
+                fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                    if ctx.rank() == 0 {
+                        if self.helper {
+                            ctx.send_with_timer(1, 64, Msg::Ping, SimTime::from_us(9), Msg::Tick);
+                        } else {
+                            ctx.send(1, 64, Msg::Ping);
+                            ctx.after(SimTime::from_us(9), Msg::Tick);
+                        }
+                    }
+                }
+                fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: usize, msg: Msg) {
+                    if msg == Msg::Ping {
+                        ctx.send(src, 64, Msg::Pong);
+                    }
+                }
+                fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+            }
+            let mut progs = vec![P { helper }, P { helper }];
+            let plan = FaultPlan::new(42).with_message_faults(0.4, 0.3, 0.3, 1_500);
+            Engine::new(2, small_net())
+                .with_faults(plan)
+                .run(&mut progs)
+        }
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! Cross-backend equivalence: the bulk-synchronous and asynchronous
-//! coordination codes must complete *exactly* the same task set under every
-//! machine shape, memory budget, and mode — timing may differ, results may
-//! not. This is the paper's implicit correctness contract ("the alignment
-//! tasks ... are treated as fixed inputs").
+//! Cross-backend equivalence: all three coordination codes (BSP, plain
+//! async, aggregated async) must complete *exactly* the same task set under
+//! every machine shape, memory budget, and mode — timing may differ,
+//! results may not. This is the paper's implicit correctness contract ("the
+//! alignment tasks ... are treated as fixed inputs"), and it extends to the
+//! shared rayon backend: the parallel and serial alignment paths must emit
+//! identical accepted-alignment sets.
 
+use gnb::align::batch::align_batch_serial;
 use gnb::core::driver::{run_sim, Algorithm, RunConfig};
+use gnb::core::pipeline::{run_pipeline, PipelineParams};
 use gnb::core::workload::SimWorkload;
 use gnb::core::{CostModel, MachineConfig};
 use gnb::genome::presets;
@@ -28,10 +32,12 @@ fn identical_results_across_machine_shapes() {
         w.validate();
         let cfg = RunConfig::default();
         let bsp = run_sim(&w, &m, Algorithm::Bsp, &cfg);
-        let asy = run_sim(&w, &m, Algorithm::Async, &cfg);
         assert_eq!(bsp.tasks_done as usize, w.total_tasks);
-        assert_eq!(bsp.tasks_done, asy.tasks_done, "{nodes}x{cores}");
-        assert_eq!(bsp.task_checksum, asy.task_checksum, "{nodes}x{cores}");
+        for algo in [Algorithm::Async, Algorithm::AggAsync] {
+            let r = run_sim(&w, &m, algo, &cfg);
+            assert_eq!(bsp.tasks_done, r.tasks_done, "{algo} {nodes}x{cores}");
+            assert_eq!(bsp.task_checksum, r.task_checksum, "{algo} {nodes}x{cores}");
+        }
     }
 }
 
@@ -65,11 +71,51 @@ fn comm_only_mode_completes_everything() {
         ..RunConfig::default()
     };
     let bsp = run_sim(&w, &m, Algorithm::Bsp, &cfg);
-    let asy = run_sim(&w, &m, Algorithm::Async, &cfg);
-    assert_eq!(bsp.tasks_done, asy.tasks_done);
-    assert_eq!(bsp.task_checksum, asy.task_checksum);
     assert_eq!(bsp.breakdown.compute.sum, 0.0);
-    assert_eq!(asy.breakdown.compute.sum, 0.0);
+    for algo in [Algorithm::Async, Algorithm::AggAsync] {
+        let r = run_sim(&w, &m, algo, &cfg);
+        assert_eq!(bsp.tasks_done, r.tasks_done, "{algo}");
+        assert_eq!(bsp.task_checksum, r.task_checksum, "{algo}");
+        assert_eq!(r.breakdown.compute.sum, 0.0, "{algo}");
+    }
+}
+
+/// The full equivalence chain: the shared rayon backend's parallel and
+/// serial paths emit identical accepted-alignment sets for a real pipeline
+/// task set, and all three simulated coordination codes complete exactly
+/// that task set with identical checksums. One fixed input, four
+/// executions, one answer.
+#[test]
+fn three_strategies_and_rayon_backend_agree() {
+    let preset = presets::ecoli_30x().scaled(512);
+    let reads = preset.generate(55);
+    let params = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let res = run_pipeline(&reads, &params);
+    assert!(res.tasks.len() > 100, "tasks: {}", res.tasks.len());
+
+    // Rayon vs serial: record-for-record identical, hence identical
+    // accepted sets (scheduling must not leak into alignment results).
+    let serial = align_batch_serial(&reads, &res.tasks, &params.align);
+    assert_eq!(res.outcome.records, serial.records);
+    let accepted: Vec<(u32, u32)> = res.outcome.accepted().map(|r| (r.a, r.b)).collect();
+    let accepted_serial: Vec<(u32, u32)> = serial.accepted().map(|r| (r.a, r.b)).collect();
+    assert_eq!(accepted, accepted_serial);
+    assert!(!accepted.is_empty());
+
+    // All three coordination codes run the same fixed task set to the same
+    // checksum.
+    let m = machine(1, 8);
+    let lengths = reads.lengths();
+    let w = SimWorkload::prepare(&lengths, &res.tasks, &res.overlaps, m.nranks());
+    w.validate();
+    let cfg = RunConfig::default();
+    let mut checksums = Vec::new();
+    for algo in Algorithm::ALL {
+        let r = run_sim(&w, &m, algo, &cfg);
+        assert_eq!(r.tasks_done as usize, res.tasks.len(), "{algo}");
+        checksums.push(r.task_checksum);
+    }
+    assert!(checksums.windows(2).all(|p| p[0] == p[1]), "{checksums:x?}");
 }
 
 #[test]

@@ -1,9 +1,9 @@
-//! Chaos testing: under any *recoverable* fault plan, both coordination
-//! codes must still complete exactly the fault-free task set, terminate,
-//! and stay within their memory envelope — faults may cost time, never
-//! results. And when a fault plan is *not* recoverable (retry budgets too
-//! small for the loss rate), the run must end with a structured error
-//! rather than hang or silently drop tasks.
+//! Chaos testing: under any *recoverable* fault plan, all three
+//! coordination codes must still complete exactly the fault-free task set,
+//! terminate, and stay within their memory envelope — faults may cost
+//! time, never results. And when a fault plan is *not* recoverable (retry
+//! budgets too small for the loss rate), the run must end with a
+//! structured error rather than hang or silently drop tasks.
 
 use gnb::core::driver::{run_sim, try_run_sim, Algorithm, RunConfig, RunError};
 use gnb::core::workload::SimWorkload;
@@ -24,8 +24,8 @@ proptest! {
 
     /// Recoverable chaos: moderate loss/duplication/delay rates, straggler
     /// ranks and round loss, with a retry budget deep enough that the
-    /// probability of exhaustion is negligible. Both codes must produce
-    /// the fault-free accepted-alignment checksum.
+    /// probability of exhaustion is negligible. All three codes must
+    /// produce the fault-free accepted-alignment checksum.
     #[test]
     fn recoverable_faults_preserve_results(
         fault_seed in any::<u64>(),
@@ -55,7 +55,7 @@ proptest! {
             ..RunConfig::default()
         };
         let clean = run_sim(&w, &machine, Algorithm::Async, &RunConfig::default());
-        for algo in [Algorithm::Bsp, Algorithm::Async] {
+        for algo in Algorithm::ALL {
             let r = match try_run_sim(&w, &machine, algo, &cfg) {
                 Ok(r) => r,
                 Err(e) => return Err(TestCaseError::fail(format!("{algo}: {e}"))),
@@ -90,7 +90,7 @@ fn exhausted_retry_budget_is_a_structured_error() {
         },
         ..RunConfig::default()
     };
-    for algo in [Algorithm::Bsp, Algorithm::Async] {
+    for algo in Algorithm::ALL {
         match try_run_sim(&w, &machine, algo, &cfg) {
             Err(RunError::RetryBudgetExhausted {
                 algorithm,
@@ -125,11 +125,43 @@ fn faulty_runs_replay_identically() {
         },
         ..RunConfig::default()
     };
-    for algo in [Algorithm::Bsp, Algorithm::Async] {
+    for algo in Algorithm::ALL {
         let a = try_run_sim(&w, &machine, algo, &cfg).unwrap();
         let b = try_run_sim(&w, &machine, algo, &cfg).unwrap();
         assert_eq!(a.report, b.report, "{algo}");
         assert_eq!(a.task_checksum, b.task_checksum, "{algo}");
         assert_eq!(a.recovery, b.recovery, "{algo}");
     }
+}
+
+/// Flush timers ride the never-faulted self-timer path: with a batch
+/// threshold far above any per-owner group count, *every* remote batch in
+/// the aggregated code is shipped by its flush timer — so a drop-heavy
+/// (but recoverable) fault plan that loses half the network traffic still
+/// cannot strand a batch in the aggregation buffer. If a flush timer could
+/// be dropped, this run would deadlock instead of completing.
+#[test]
+fn drop_heavy_faults_cannot_lose_flush_timers() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let w = workload(512, 9, machine.nranks());
+    let clean = run_sim(&w, &machine, Algorithm::AggAsync, &RunConfig::default());
+    let cfg = RunConfig {
+        // Threshold no run reaches: only timers flush batches.
+        agg_batch: 1_000_000,
+        rpc_max_retries: 64,
+        fault: FaultConfig {
+            seed: 11,
+            drop_prob: 0.5,
+            dup_prob: 0.25,
+            delay_prob: 0.5,
+            delay_ns: 400_000,
+            ..FaultConfig::default()
+        },
+        ..RunConfig::default()
+    };
+    let r = try_run_sim(&w, &machine, Algorithm::AggAsync, &cfg)
+        .expect("recoverable plan must complete");
+    assert_eq!(r.tasks_done as usize, w.total_tasks);
+    assert_eq!(r.task_checksum, clean.task_checksum);
+    assert!(r.recovery.retries > 0, "the plan must actually bite");
 }

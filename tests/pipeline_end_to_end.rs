@@ -1,6 +1,6 @@
 //! End-to-end integration: the real string pipeline feeds the simulated
 //! distributed study — the same fixed task set flows through the shared
-//! rayon backend and both simulated coordination codes.
+//! rayon backend and all three simulated coordination codes.
 
 use gnb::core::driver::{run_sim, Algorithm, RunConfig};
 use gnb::core::pipeline::{run_pipeline, PipelineParams};
@@ -26,9 +26,11 @@ fn string_pipeline_feeds_simulated_study() {
 
     let cfg = RunConfig::default();
     let bsp = run_sim(&w, &machine, Algorithm::Bsp, &cfg);
-    let asy = run_sim(&w, &machine, Algorithm::Async, &cfg);
     assert_eq!(bsp.tasks_done as usize, res.tasks.len());
-    assert_eq!(bsp.task_checksum, asy.task_checksum);
+    for algo in [Algorithm::Async, Algorithm::AggAsync] {
+        let r = run_sim(&w, &machine, algo, &cfg);
+        assert_eq!(bsp.task_checksum, r.task_checksum, "{algo}");
+    }
 
     // The shared backend actually computed those alignments.
     assert_eq!(res.outcome.records.len(), res.tasks.len());
