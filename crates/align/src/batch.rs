@@ -7,8 +7,10 @@
 
 use crate::scoring::ScoringScheme;
 use crate::seed_extend::{
-    align_candidate_with, AcceptCriteria, AlignmentRecord, Candidate, SeedExtendScratch,
+    align_candidate_packed_with, align_candidate_with, AcceptCriteria, AlignmentRecord, Candidate,
+    SeedExtendScratch,
 };
+use crate::KernelImpl;
 use gnb_genome::ReadSet;
 use rayon::prelude::*;
 
@@ -46,6 +48,9 @@ pub struct AlignParams {
     pub x: i32,
     /// Acceptance criteria.
     pub criteria: AcceptCriteria,
+    /// Kernel implementation [`align_batch`] runs (the serial reference
+    /// driver always uses the scalar kernel — see [`align_batch_serial`]).
+    pub kernel: KernelImpl,
 }
 
 impl Default for AlignParams {
@@ -55,29 +60,74 @@ impl Default for AlignParams {
             scoring: ScoringScheme::DEFAULT,
             x: 25,
             criteria: AcceptCriteria::default(),
+            kernel: KernelImpl::default(),
         }
     }
 }
 
-/// Aligns every candidate in parallel. Records are returned in input order
-/// (rayon's indexed map preserves order), so results are deterministic.
+/// Aligns one candidate with the kernel `params` selects.
+fn align_one(
+    scratch: &mut SeedExtendScratch,
+    reads: &ReadSet,
+    cand: &Candidate,
+    params: &AlignParams,
+) -> AlignmentRecord {
+    match params.kernel {
+        KernelImpl::Scalar => align_candidate_with(
+            scratch,
+            reads.read(cand.a as usize),
+            reads.read(cand.b as usize),
+            cand,
+            params.k,
+            &params.scoring,
+            params.x,
+            &params.criteria,
+        ),
+        KernelImpl::Packed => align_candidate_packed_with(
+            scratch,
+            reads.packed_read(cand.a as usize),
+            reads.packed_read(cand.b as usize),
+            cand,
+            params.k,
+            &params.scoring,
+            params.x,
+            &params.criteria,
+        ),
+    }
+}
+
+/// Aligns every candidate in parallel; records are returned in input order,
+/// so results are deterministic and independent of the schedule.
+///
+/// Internally tasks run **longest-first**: candidates are ordered by
+/// descending `len(a) + len(b)` (a cheap upper-bound cost proxy — a task's
+/// true cost is unknowable before it runs, §4.2 of the paper) so a huge
+/// true-overlap task picked up last cannot leave one worker aligning alone
+/// after the rest of the pool drains. Results are scattered back to input
+/// order before returning, making the schedule unobservable.
 pub fn align_batch(reads: &ReadSet, tasks: &[Candidate], params: &AlignParams) -> BatchOutcome {
     // gnb-lint: allow(wall-clock, reason = "measures real alignment wall time; deterministic outputs are the records, not the timing")
     let start = std::time::Instant::now();
-    let records: Vec<AlignmentRecord> = tasks
+    let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
+    // Stable sort: equal-length tasks keep input order, so the schedule
+    // itself is deterministic too.
+    order.sort_by_key(|&t| {
+        let c = &tasks[t as usize];
+        std::cmp::Reverse(reads.read_len(c.a as usize) + reads.read_len(c.b as usize))
+    });
+    let scheduled: Vec<(u32, AlignmentRecord)> = order
         .par_iter()
-        .map_init(SeedExtendScratch::new, |scratch, cand| {
-            align_candidate_with(
-                scratch,
-                reads.read(cand.a as usize),
-                reads.read(cand.b as usize),
-                cand,
-                params.k,
-                &params.scoring,
-                params.x,
-                &params.criteria,
-            )
+        .map_init(SeedExtendScratch::new, |scratch, &t| {
+            (t, align_one(scratch, reads, &tasks[t as usize], params))
         })
+        .collect();
+    let mut slots: Vec<Option<AlignmentRecord>> = vec![None; tasks.len()];
+    for (t, rec) in scheduled {
+        slots[t as usize] = Some(rec);
+    }
+    let records: Vec<AlignmentRecord> = slots
+        .into_iter()
+        .map(|r| r.expect("every task scheduled exactly once"))
         .collect();
     let elapsed = start.elapsed();
     let total_cells = records.iter().map(|r| r.cells).sum();
@@ -89,6 +139,11 @@ pub fn align_batch(reads: &ReadSet, tasks: &[Candidate], params: &AlignParams) -
 }
 
 /// Serial reference driver (validation and single-thread baselines).
+///
+/// Always runs the scalar reference kernel in input order, regardless of
+/// `params.kernel` — it *is* the reference the parallel path is validated
+/// against, so comparing [`align_batch`] (packed, longest-first) to this
+/// function cross-checks both the kernel and the schedule.
 pub fn align_batch_serial(
     reads: &ReadSet,
     tasks: &[Candidate],
@@ -172,17 +227,43 @@ mod tests {
                 min_score: 100,
                 min_overlap: 100,
             },
+            ..AlignParams::default()
         }
     }
 
     #[test]
     fn parallel_matches_serial() {
+        // The default parallel path (packed kernel, longest-first schedule)
+        // must agree record-for-record with the scalar in-order reference.
         let (reads, cands) = make_reads();
         let p = params();
         let par = align_batch(&reads, &cands, &p);
         let ser = align_batch_serial(&reads, &cands, &p);
         assert_eq!(par.records, ser.records);
         assert_eq!(par.total_cells, ser.total_cells);
+    }
+
+    #[test]
+    fn kernel_selection_is_result_invariant() {
+        let (reads, cands) = make_reads();
+        let scalar = align_batch(
+            &reads,
+            &cands,
+            &AlignParams {
+                kernel: crate::KernelImpl::Scalar,
+                ..params()
+            },
+        );
+        let packed = align_batch(
+            &reads,
+            &cands,
+            &AlignParams {
+                kernel: crate::KernelImpl::Packed,
+                ..params()
+            },
+        );
+        assert_eq!(scalar.records, packed.records);
+        assert_eq!(scalar.total_cells, packed.total_cells);
     }
 
     #[test]
@@ -211,5 +292,44 @@ mod tests {
         let out = align_batch(&reads, &cands, &params());
         assert_eq!(out.records[0].a, cands[0].a);
         assert_eq!(out.records[1].a, cands[1].a);
+    }
+
+    #[test]
+    fn mixed_lengths_scatter_back_to_input_order() {
+        // A short pair queued before a long pair: the longest-first
+        // schedule runs them in the opposite order, but the outputs must
+        // land back in input order.
+        let (mut reads, _) = make_reads();
+        let o = ReadOrigin {
+            start: 0,
+            ref_len: 0,
+            strand: Strand::Forward,
+        };
+        let short: Vec<u8> = (0..60)
+            .map(|i| b"ACGT"[(i * 7 + 5 * 13 + i / 3) % 4])
+            .collect();
+        let s0 = reads.push(&short, o);
+        let s1 = reads.push(&short, o);
+        let cands = vec![
+            Candidate {
+                a: s0,
+                b: s1,
+                a_pos: 10,
+                b_pos: 10,
+                same_strand: true,
+            },
+            Candidate {
+                a: 0,
+                b: 1,
+                a_pos: 400,
+                b_pos: 200,
+                same_strand: true,
+            },
+        ];
+        let out = align_batch(&reads, &cands, &params());
+        let ser = align_batch_serial(&reads, &cands, &params());
+        assert_eq!(out.records, ser.records);
+        assert_eq!((out.records[0].a, out.records[0].b), (s0, s1));
+        assert_eq!((out.records[1].a, out.records[1].b), (0, 1));
     }
 }

@@ -8,8 +8,11 @@
 //! factor is documented in EXPERIMENTS.md). Absolute times are therefore
 //! approximate by design — the paper's *shapes* do not depend on them.
 
+use crate::packed::{PackedView, PackedXDropAligner};
 use crate::scoring::ScoringScheme;
 use crate::xdrop::XDropAligner;
+use crate::KernelImpl;
+use gnb_genome::PackedSeq;
 // gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
 use std::time::Instant;
 
@@ -31,37 +34,74 @@ impl CellRate {
     }
 }
 
-/// Measures X-drop cell throughput by running repeated extensions over a
-/// pseudo-random near-identical pair (the common case: a true overlap).
-///
-/// `target_cells` bounds the measurement work; a few million cells gives a
-/// stable estimate in well under a second.
-pub fn measure_cell_rate(target_cells: u64) -> CellRate {
+/// The calibration workload: a pseudo-random 8192-bp near-identical pair
+/// (the common case: a true overlap; ~5% substitutions keep the band
+/// realistically wide).
+fn calibration_pair() -> (Vec<u8>, Vec<u8>) {
     let n = 8192usize;
     let bases = b"ACGT";
     let a: Vec<u8> = (0..n).map(|i| bases[(i * 7 + i / 5 + 3) % 4]).collect();
     let mut b = a.clone();
-    // ~5% substitutions keep the band realistically wide.
     for i in (0..n).step_by(20) {
         b[i] = bases[(a[i] as usize + 1) % 4];
     }
+    (a, b)
+}
+
+/// Measures X-drop cell throughput of the scalar reference kernel by
+/// running repeated extensions over the calibration pair.
+///
+/// `target_cells` bounds the measurement work; a few million cells gives a
+/// stable estimate in well under a second. Use [`measure_cell_rate_for`]
+/// to calibrate a specific [`KernelImpl`].
+pub fn measure_cell_rate(target_cells: u64) -> CellRate {
+    measure_cell_rate_for(KernelImpl::Scalar, target_cells)
+}
+
+/// Measures the cell throughput of the given kernel implementation on the
+/// shared calibration workload. Both kernels evaluate bit-identical cell
+/// counts per extension, so rates are directly comparable.
+pub fn measure_cell_rate_for(kernel: KernelImpl, target_cells: u64) -> CellRate {
+    let (a, b) = calibration_pair();
     let sc = ScoringScheme::DEFAULT;
-    let mut aligner = XDropAligner::new();
-
-    // Warm-up pass (page in buffers, settle frequency scaling).
-    let _ = aligner.extend(&a, &b, &sc, 50);
-
-    // gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
-    let start = Instant::now();
-    let mut cells = 0u64;
-    while cells < target_cells {
-        let ext = aligner.extend(&a, &b, &sc, 50);
-        cells += ext.cells;
-    }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    CellRate {
-        host_cells_per_sec: cells as f64 / secs,
-        cells,
+    match kernel {
+        KernelImpl::Scalar => {
+            let mut aligner = XDropAligner::new();
+            // Warm-up pass (page in buffers, settle frequency scaling).
+            let _ = aligner.extend(&a, &b, &sc, 50);
+            // gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
+            let start = Instant::now();
+            let mut cells = 0u64;
+            while cells < target_cells {
+                let ext = aligner.extend(&a, &b, &sc, 50);
+                cells += ext.cells;
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            CellRate {
+                host_cells_per_sec: cells as f64 / secs,
+                cells,
+            }
+        }
+        KernelImpl::Packed => {
+            let pa = PackedSeq::from_bytes(&a);
+            let pb = PackedSeq::from_bytes(&b);
+            let va = PackedView::full(pa.as_slice());
+            let vb = PackedView::full(pb.as_slice());
+            let mut aligner = PackedXDropAligner::new();
+            let _ = aligner.extend(va, vb, &sc, 50);
+            // gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
+            let start = Instant::now();
+            let mut cells = 0u64;
+            while cells < target_cells {
+                let ext = aligner.extend(va, vb, &sc, 50);
+                cells += ext.cells;
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            CellRate {
+                host_cells_per_sec: cells as f64 / secs,
+                cells,
+            }
+        }
     }
 }
 
@@ -79,6 +119,16 @@ mod tests {
             "rate {}",
             r.host_cells_per_sec
         );
+    }
+
+    #[test]
+    fn packed_rate_measurable_and_same_workload() {
+        let s = measure_cell_rate_for(KernelImpl::Scalar, 500_000);
+        let p = measure_cell_rate_for(KernelImpl::Packed, 500_000);
+        // Identical per-extension cell counts → both overshoot the target
+        // by less than one extension's worth of cells.
+        assert!(p.cells >= 500_000 && s.cells >= 500_000);
+        assert!(p.host_cells_per_sec > 1e6, "rate {}", p.host_cells_per_sec);
     }
 
     #[test]

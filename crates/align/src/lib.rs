@@ -10,8 +10,12 @@
 //! * [`nw::global_score`] — Needleman–Wunsch global alignment, O(nm);
 //! * [`sw::local_align`] — Smith–Waterman local alignment, O(nm);
 //! * [`xdrop::xdrop_extend`] — banded antidiagonal X-drop extension, the
-//!   production kernel: average-case O(n), terminates early on
+//!   reference kernel: average-case O(n), terminates early on
 //!   false-positive seeds (the source of the paper's variable task costs);
+//! * [`packed::PackedXDropAligner`] — the production kernel: the same
+//!   algorithm over 2-bit packed sequences with 32-way base comparison and
+//!   a branch-reduced inner loop, bit-identical to the scalar kernel
+//!   (selected per batch via [`KernelImpl`]);
 //! * [`seed_extend::align_candidate`] — the full candidate workflow: strand
 //!   normalisation, two-directional extension from the seed, overlap
 //!   classification (paper Fig. 2), acceptance criteria;
@@ -29,12 +33,30 @@ pub mod banded;
 pub mod batch;
 pub mod calibrate;
 pub mod nw;
+pub mod packed;
 pub mod scoring;
 pub mod seed_extend;
 pub mod sw;
 pub mod xdrop;
 
 pub use batch::{align_batch, BatchOutcome};
+pub use packed::{PackedView, PackedXDropAligner};
 pub use scoring::ScoringScheme;
 pub use seed_extend::{align_candidate, AcceptCriteria, AlignmentRecord, Candidate, OverlapClass};
 pub use xdrop::{xdrop_extend, Extension, XDropAligner};
+
+/// Which X-drop kernel implementation a batch runs.
+///
+/// Both return bit-identical [`Extension`]s on DNA-with-N inputs (the
+/// packed kernel asserts this contract via the equivalence proptests);
+/// selection is therefore a pure performance choice. The scalar kernel is
+/// retained as the reference implementation and as the fallback for
+/// sequences that are not valid `{A,C,G,T,N}` DNA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum KernelImpl {
+    /// Byte-at-a-time reference kernel ([`XDropAligner`]).
+    Scalar,
+    /// 2-bit packed, branch-reduced kernel ([`PackedXDropAligner`]).
+    #[default]
+    Packed,
+}

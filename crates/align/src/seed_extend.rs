@@ -13,8 +13,10 @@
 //! 5. applying acceptance criteria (the paper saves only alignments that
 //!    "meet or exceed the user or default scoring criteria").
 
+use crate::packed::{PackedView, PackedXDropAligner};
 use crate::scoring::ScoringScheme;
-use crate::xdrop::XDropAligner;
+use crate::xdrop::{Extension, XDropAligner};
+use gnb_genome::PackedSlice;
 use serde::{Deserialize, Serialize};
 
 /// A candidate pair discovered through a shared (filtered) k-mer.
@@ -101,6 +103,7 @@ pub struct AlignmentRecord {
 #[derive(Debug, Default)]
 pub struct SeedExtendScratch {
     aligner: XDropAligner,
+    packed: PackedXDropAligner,
     b_rc: Vec<u8>,
     a_rev: Vec<u8>,
     b_rev: Vec<u8>,
@@ -172,13 +175,43 @@ pub fn align_candidate_with(
         .aligner
         .extend(&scratch.a_rev, &scratch.b_rev, sc, x);
 
+    assemble_record(
+        cand,
+        seed_score,
+        &left,
+        &right,
+        a_pos,
+        b_pos,
+        k,
+        seq_a.len(),
+        b_norm.len(),
+        criteria,
+    )
+}
+
+/// Builds the final record from the seed score and the two extensions —
+/// shared by the scalar and packed paths so their outputs stay structurally
+/// identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn assemble_record(
+    cand: &Candidate,
+    seed_score: i32,
+    left: &Extension,
+    right: &Extension,
+    a_pos: usize,
+    b_pos: usize,
+    k: usize,
+    a_len: usize,
+    b_len: usize,
+    criteria: &AcceptCriteria,
+) -> AlignmentRecord {
     let a_begin = a_pos - left.a_ext;
     let a_end = a_pos + k + right.a_ext;
     let b_begin = b_pos - left.b_ext;
     let b_end = b_pos + k + right.b_ext;
     let score = seed_score + left.score + right.score;
 
-    let class = classify(a_begin, a_end, seq_a.len(), b_begin, b_end, b_norm.len());
+    let class = classify(a_begin, a_end, a_len, b_begin, b_end, b_len);
     let overlap = (a_end - a_begin).max(b_end - b_begin);
     let accepted = score >= criteria.min_score && overlap >= criteria.min_overlap;
 
@@ -195,6 +228,102 @@ pub fn align_candidate_with(
         cells: left.cells + right.cells,
         accepted,
     }
+}
+
+/// Packed-kernel variant of [`align_candidate_with`]: same candidate
+/// workflow over packed reads, returning a bit-identical record. Strand
+/// normalisation and the left extension's reversal are O(1) view
+/// constructions (no reverse-complement buffer is materialised), and the
+/// seed is scored directly from the 2-bit codes.
+///
+/// # Panics
+/// Panics if the seed windows fall outside the reads (a corrupt candidate).
+#[allow(clippy::too_many_arguments)]
+pub fn align_candidate_packed_with(
+    scratch: &mut SeedExtendScratch,
+    seq_a: PackedSlice<'_>,
+    seq_b: PackedSlice<'_>,
+    cand: &Candidate,
+    k: usize,
+    sc: &ScoringScheme,
+    x: i32,
+    criteria: &AcceptCriteria,
+) -> AlignmentRecord {
+    let a_pos = cand.a_pos as usize;
+    assert!(a_pos + k <= seq_a.len, "seed outside read a");
+    assert!(
+        (cand.b_pos as usize) + k <= seq_b.len,
+        "seed outside read b"
+    );
+
+    let a = PackedView::full(seq_a);
+    let (b_norm, b_pos) = if cand.same_strand {
+        (PackedView::full(seq_b), cand.b_pos as usize)
+    } else {
+        (
+            PackedView::full(seq_b).revcomp(),
+            seq_b.len - k - cand.b_pos as usize,
+        )
+    };
+
+    // Seed score from the packed codes: match iff equal codes and neither
+    // base is N — exactly the byte-path `ScoringScheme::substitution`
+    // semantics on valid DNA.
+    let mut seed_score = 0;
+    for t in 0..k {
+        let same = a.code(a_pos + t) == b_norm.code(b_pos + t)
+            && !a.is_n(a_pos + t)
+            && !b_norm.is_n(b_pos + t);
+        seed_score += if same { sc.match_score } else { sc.mismatch };
+    }
+
+    let right = scratch
+        .packed
+        .extend(a.suffix(a_pos + k), b_norm.suffix(b_pos + k), sc, x);
+    let left = scratch
+        .packed
+        .extend(a.rev_prefix(a_pos), b_norm.rev_prefix(b_pos), sc, x);
+
+    assemble_record(
+        cand,
+        seed_score,
+        &left,
+        &right,
+        a_pos,
+        b_pos,
+        k,
+        seq_a.len,
+        b_norm.len(),
+        criteria,
+    )
+}
+
+/// One-shot packed-kernel wrapper over byte sequences: packs both inputs,
+/// then runs [`align_candidate_packed_with`]. Intended for tests and
+/// one-off calls — batch paths should reuse the load-time packing in
+/// [`gnb_genome::ReadSet::packed_read`] instead.
+#[allow(clippy::too_many_arguments)]
+pub fn align_candidate_packed(
+    seq_a: &[u8],
+    seq_b: &[u8],
+    cand: &Candidate,
+    k: usize,
+    sc: &ScoringScheme,
+    x: i32,
+    criteria: &AcceptCriteria,
+) -> AlignmentRecord {
+    let pa = gnb_genome::PackedSeq::from_bytes(seq_a);
+    let pb = gnb_genome::PackedSeq::from_bytes(seq_b);
+    align_candidate_packed_with(
+        &mut SeedExtendScratch::new(),
+        pa.as_slice(),
+        pb.as_slice(),
+        cand,
+        k,
+        sc,
+        x,
+        criteria,
+    )
 }
 
 /// One-shot wrapper over [`align_candidate_with`] with fresh scratch.
@@ -439,6 +568,35 @@ mod tests {
             X,
             &crit(0, 0),
         );
+    }
+
+    #[test]
+    fn packed_path_matches_scalar_both_strands() {
+        let (a, b, core_start) = dovetail_pair(300, 400, 300);
+        let k = 17;
+        let fwd = Candidate {
+            a: 0,
+            b: 1,
+            a_pos: (core_start + 100) as u32,
+            b_pos: 100,
+            same_strand: true,
+        };
+        let crit = AcceptCriteria::default();
+        let scalar = align_candidate(&a, &b, &fwd, k, &SC, X, &crit);
+        let packed = align_candidate_packed(&a, &b, &fwd, k, &SC, X, &crit);
+        assert_eq!(scalar, packed);
+
+        let b_rc = revcomp(&b);
+        let rev = Candidate {
+            a: 0,
+            b: 1,
+            a_pos: (core_start + 100) as u32,
+            b_pos: (b.len() - k - 100) as u32,
+            same_strand: false,
+        };
+        let scalar = align_candidate(&a, &b_rc, &rev, k, &SC, X, &crit);
+        let packed = align_candidate_packed(&a, &b_rc, &rev, k, &SC, X, &crit);
+        assert_eq!(scalar, packed);
     }
 
     #[test]

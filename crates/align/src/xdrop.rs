@@ -17,8 +17,8 @@
 use crate::scoring::ScoringScheme;
 
 /// "Minus infinity" for dead cells, low enough that adding a gap penalty
-/// cannot wrap.
-const NEG: i32 = i32::MIN / 4;
+/// cannot wrap. Shared with the packed kernel, which must agree bit-for-bit.
+pub(crate) const NEG: i32 = i32::MIN / 4;
 
 /// Result of an X-drop extension anchored at `(0, 0)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,7 +47,7 @@ pub struct XDropAligner {
 /// Index offset: slot `i + PAD` holds row `i`, leaving `PAD` guard slots on
 /// each side so band-edge reads at `i-1` (and diagonal reads two steps back)
 /// always land on initialised `NEG` sentinels.
-const PAD: usize = 2;
+pub(crate) const PAD: usize = 2;
 
 impl XDropAligner {
     /// Creates an empty scratch; arrays grow on first use.

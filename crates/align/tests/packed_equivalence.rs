@@ -1,0 +1,107 @@
+//! Property-based proof obligations for the packed kernel's bit-identity
+//! contract: on any DNA-with-N input, [`PackedXDropAligner`] must return
+//! exactly the same [`Extension`] — score, both extents, *and* the cell
+//! count — as the scalar reference kernel, and the full candidate
+//! workflow must produce identical [`AlignmentRecord`]s on both strands.
+//!
+//! These properties are what makes `KernelImpl` a pure performance choice:
+//! every downstream result (batch records, simulator task costs, TSVs) is
+//! provably independent of which kernel ran.
+
+use gnb_align::seed_extend::{
+    align_candidate_packed_with, align_candidate_with, AcceptCriteria, Candidate, SeedExtendScratch,
+};
+use gnb_align::xdrop::xdrop_extend;
+use gnb_align::{PackedView, PackedXDropAligner, ScoringScheme};
+use gnb_genome::PackedSeq;
+use proptest::prelude::*;
+
+fn dna_with_n(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
+        min_len..max_len,
+    )
+}
+
+fn scheme() -> impl Strategy<Value = ScoringScheme> {
+    (1..4i32, -4..-1i32, -4..-1i32).prop_map(|(m, x, g)| ScoringScheme::new(m, x, g))
+}
+
+const K: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Raw kernel equivalence: identical `Extension` (score, extents,
+    /// cells) on arbitrary DNA-with-N pairs across X thresholds and
+    /// scoring schemes.
+    #[test]
+    fn packed_extension_matches_scalar(
+        a in dna_with_n(0, 300),
+        b in dna_with_n(0, 300),
+        x in 0..100i32,
+        sc in scheme(),
+    ) {
+        let reference = xdrop_extend(&a, &b, &sc, x);
+        let (pa, pb) = (PackedSeq::from_bytes(&a), PackedSeq::from_bytes(&b));
+        let mut al = PackedXDropAligner::new();
+        let packed = al.extend(
+            PackedView::full(pa.as_slice()),
+            PackedView::full(pb.as_slice()),
+            &sc,
+            x,
+        );
+        prop_assert_eq!(packed, reference);
+    }
+
+    /// An aligner reused across many extensions (the production pattern:
+    /// one scratch per worker) must behave exactly like a fresh one —
+    /// no state leaks between calls.
+    #[test]
+    fn packed_aligner_reuse_is_stateless(
+        pairs in proptest::collection::vec(
+            (dna_with_n(0, 120), dna_with_n(0, 120), 0..60i32), 1..8),
+    ) {
+        let sc = ScoringScheme::DEFAULT;
+        let mut shared = PackedXDropAligner::new();
+        for (a, b, x) in &pairs {
+            let (pa, pb) = (PackedSeq::from_bytes(a), PackedSeq::from_bytes(b));
+            let (va, vb) = (PackedView::full(pa.as_slice()), PackedView::full(pb.as_slice()));
+            let got = shared.extend(va, vb, &sc, *x);
+            let fresh = PackedXDropAligner::new().extend(va, vb, &sc, *x);
+            prop_assert_eq!(got, fresh);
+            prop_assert_eq!(got, xdrop_extend(a, b, &sc, *x));
+        }
+    }
+
+    /// Full candidate workflow equivalence on both strands: the packed
+    /// path (which exercises the suffix / reverse / reverse-complement
+    /// view algebra internally) must reproduce the scalar path's
+    /// `AlignmentRecord` field for field.
+    #[test]
+    fn packed_candidate_matches_scalar_both_strands(
+        a in dna_with_n(K, 300),
+        b in dna_with_n(K, 300),
+        apos_raw in 0usize..1000,
+        bpos_raw in 0usize..1000,
+        same_strand in any::<bool>(),
+        x in 0..60i32,
+        sc in scheme(),
+    ) {
+        let cand = Candidate {
+            a: 0,
+            b: 1,
+            a_pos: (apos_raw % (a.len() - K + 1)) as u32,
+            b_pos: (bpos_raw % (b.len() - K + 1)) as u32,
+            same_strand,
+        };
+        let criteria = AcceptCriteria::default();
+        let mut scratch = SeedExtendScratch::new();
+        let reference = align_candidate_with(
+            &mut scratch, &a, &b, &cand, K, &sc, x, &criteria);
+        let (pa, pb) = (PackedSeq::from_bytes(&a), PackedSeq::from_bytes(&b));
+        let packed = align_candidate_packed_with(
+            &mut scratch, pa.as_slice(), pb.as_slice(), &cand, K, &sc, x, &criteria);
+        prop_assert_eq!(packed, reference);
+    }
+}

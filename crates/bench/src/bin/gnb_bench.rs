@@ -1,0 +1,575 @@
+//! `gnb-bench`: the repository's performance regression harness.
+//!
+//! Criterion in this workspace is an offline stub, so this binary rolls its
+//! own measurement discipline: every benchmark does a warm-up pass, then
+//! `reps` timed samples, and reports the **median** (the host is shared and
+//! noisy; medians are robust to a single preempted sample). Ratios between
+//! kernels are always computed from samples taken in the same process run,
+//! which is the stable quantity even when absolute rates drift with host
+//! load.
+//!
+//! Three benchmark groups, two JSON reports at the repository root:
+//!
+//! * `BENCH_kernels.json` — X-drop DP-cell throughput (scalar reference vs
+//!   packed kernel) on the true-overlap calibration pair and on a
+//!   false-positive early-exit workload, plus end-to-end `align_batch`
+//!   throughput on a real pipeline candidate set.
+//! * `BENCH_sim.json` — DES event-queue operation rates (arena queue vs an
+//!   in-bench replica of the pre-arena payload-carrying heap), engine
+//!   events/sec on a message-heavy ring program, and an end-to-end async
+//!   coordination run.
+//!
+//! The JSON is hand-rolled (no serializer dependency) and kept strictly
+//! valid: CI's `perf-smoke` job parses it with `python3 -m json.tool` and
+//! fails on malformed output. `--quick` shrinks targets and rep counts for
+//! smoke use.
+
+use gnb_align::batch::{align_batch, AlignParams};
+use gnb_align::calibrate::measure_cell_rate_for;
+use gnb_align::packed::simd_active;
+use gnb_align::seed_extend::AcceptCriteria;
+use gnb_align::{KernelImpl, PackedView, PackedXDropAligner, ScoringScheme, XDropAligner};
+use gnb_bench::CliArgs;
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_genome::{presets, PackedSeq, ReadSet};
+use gnb_kmer::{count_kmers, BellaModel, SeedIndex};
+use gnb_overlap::candidates::generate_candidates;
+use gnb_sim::engine::{Ctx, Program, TimeCategory};
+use gnb_sim::event::{EventPayload, EventQueue};
+use gnb_sim::{Engine, NetParams, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+// gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Harness plumbing
+// ---------------------------------------------------------------------------
+
+/// Measurement configuration (full vs `--quick`).
+struct Cfg {
+    quick: bool,
+    /// Timed samples per benchmark (median reported).
+    reps: usize,
+    /// DP-cell target per kernel sample on the true-overlap pair.
+    cells_true: u64,
+    /// DP-cell target per sample on the false-positive workload.
+    cells_fp: u64,
+    /// Workload scale divisor for the batch + end-to-end benchmarks.
+    scale: usize,
+    /// Ring-program hop count.
+    ring_hops: u32,
+    /// Event-queue micro-benchmark operation count.
+    queue_ops: usize,
+}
+
+impl Cfg {
+    fn new(quick: bool) -> Cfg {
+        if quick {
+            Cfg {
+                quick,
+                reps: 3,
+                cells_true: 4_000_000,
+                cells_fp: 400_000,
+                scale: 2048,
+                ring_hops: 500,
+                queue_ops: 200_000,
+            }
+        } else {
+            Cfg {
+                quick,
+                reps: 7,
+                cells_true: 20_000_000,
+                cells_fp: 2_000_000,
+                scale: 1024,
+                ring_hops: 2_000,
+                queue_ops: 1_000_000,
+            }
+        }
+    }
+}
+
+/// One benchmark result: named samples in a fixed unit.
+struct Row {
+    name: String,
+    unit: &'static str,
+    samples: Vec<f64>,
+}
+
+impl Row {
+    fn median(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        s[s.len() / 2]
+    }
+}
+
+/// Runs `reps` timed samples of `f` (which returns a rate) after one
+/// warm-up call, collecting them into a [`Row`].
+fn sample<F: FnMut() -> f64>(name: &str, unit: &'static str, reps: usize, mut f: F) -> Row {
+    let _ = f(); // warm-up: page in buffers, settle frequency scaling
+    let samples: Vec<f64> = (0..reps).map(|_| f()).collect();
+    let row = Row {
+        name: name.to_string(),
+        unit,
+        samples,
+    };
+    println!("  {:<42} {:>12.4e} {}", row.name, row.median(), row.unit);
+    row
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one report as strictly valid JSON (names are ASCII identifiers;
+/// no string escaping needed).
+fn render_json(cfg: &Cfg, rows: &[Row], ratios: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"gnb-bench\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    out.push_str(&format!("  \"avx2\": {},\n", simd_active()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let samples: Vec<String> = r.samples.iter().map(|&s| json_num(s)).collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"median\": {}, \"samples\": [{}]}}{}\n",
+            r.name,
+            r.unit,
+            json_num(r.median()),
+            samples.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ratios\": {\n");
+    for (i, (name, v)) in ratios.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            name,
+            json_num(*v),
+            if i + 1 < ratios.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+// ---------------------------------------------------------------------------
+// Kernel benchmarks
+// ---------------------------------------------------------------------------
+
+/// False-positive workload: two decorrelated pseudo-random sequences. The
+/// band collapses within a few dozen antidiagonals, so each extension is
+/// tiny and per-call overhead matters — the regime the paper's
+/// false-positive seeds put the kernel in.
+fn fp_pair() -> (Vec<u8>, Vec<u8>) {
+    let bases = b"ACGT";
+    let a: Vec<u8> = (0..2000).map(|i| bases[(i * 7 + i / 5 + 3) % 4]).collect();
+    let b: Vec<u8> = (0..2000).map(|i| bases[(i * 11 + i / 3 + 1) % 4]).collect();
+    (a, b)
+}
+
+fn fp_rate_scalar(target: u64) -> f64 {
+    let (a, b) = fp_pair();
+    let sc = ScoringScheme::DEFAULT;
+    let mut al = XDropAligner::new();
+    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+    let start = Instant::now();
+    let mut cells = 0u64;
+    while cells < target {
+        cells += al.extend(&a, &b, &sc, 25).cells;
+    }
+    cells as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn fp_rate_packed(target: u64) -> f64 {
+    let (a, b) = fp_pair();
+    let (pa, pb) = (PackedSeq::from_bytes(&a), PackedSeq::from_bytes(&b));
+    let (va, vb) = (
+        PackedView::full(pa.as_slice()),
+        PackedView::full(pb.as_slice()),
+    );
+    let sc = ScoringScheme::DEFAULT;
+    let mut al = PackedXDropAligner::new();
+    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+    let start = Instant::now();
+    let mut cells = 0u64;
+    while cells < target {
+        cells += al.extend(va, vb, &sc, 25).cells;
+    }
+    cells as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Real candidate set for the batch benchmark: the pipeline's discovery
+/// stages (k-mer count → BELLA filter → seed index → candidates) run once,
+/// then both kernels align the identical task list.
+fn batch_workload(scale: usize) -> (ReadSet, Vec<gnb_align::Candidate>, AlignParams) {
+    let preset = presets::ecoli_30x().scaled(scale);
+    let reads = preset.generate(31);
+    let mut counts = count_kmers(&reads, 17);
+    let model = BellaModel::new(preset.coverage, preset.errors.total_rate(), 17);
+    let (lo, hi) = model.reliable_interval();
+    counts.filter_frequency(lo, hi);
+    let index = SeedIndex::build(&reads, &counts);
+    let tasks = generate_candidates(&index);
+    let params = AlignParams {
+        criteria: AcceptCriteria {
+            min_score: 100,
+            min_overlap: 300,
+        },
+        ..AlignParams::default()
+    };
+    (reads, tasks, params)
+}
+
+fn bench_kernels(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
+    println!("== kernels ==");
+    let mut rows = vec![
+        sample("xdrop_true_overlap/scalar", "cells/s", cfg.reps, || {
+            measure_cell_rate_for(KernelImpl::Scalar, cfg.cells_true).host_cells_per_sec
+        }),
+        sample("xdrop_true_overlap/packed", "cells/s", cfg.reps, || {
+            measure_cell_rate_for(KernelImpl::Packed, cfg.cells_true).host_cells_per_sec
+        }),
+        sample("xdrop_false_positive/scalar", "cells/s", cfg.reps, || {
+            fp_rate_scalar(cfg.cells_fp)
+        }),
+        sample("xdrop_false_positive/packed", "cells/s", cfg.reps, || {
+            fp_rate_packed(cfg.cells_fp)
+        }),
+    ];
+
+    let (reads, tasks, params) = batch_workload(cfg.scale);
+    println!(
+        "  (batch workload: {} reads, {} candidate tasks)",
+        reads.len(),
+        tasks.len()
+    );
+    for kernel in [KernelImpl::Scalar, KernelImpl::Packed] {
+        let name = format!(
+            "align_batch/{}",
+            if kernel == KernelImpl::Scalar {
+                "scalar"
+            } else {
+                "packed"
+            }
+        );
+        let p = AlignParams { kernel, ..params };
+        rows.push(sample(&name, "cells/s", cfg.reps, || {
+            let out = align_batch(&reads, &tasks, &p);
+            out.total_cells as f64 / out.elapsed.as_secs_f64().max(1e-9)
+        }));
+    }
+    let pairs_params = AlignParams {
+        kernel: KernelImpl::Packed,
+        ..params
+    };
+    rows.push(sample(
+        "align_batch/packed_pairs",
+        "pairs/s",
+        cfg.reps,
+        || {
+            let out = align_batch(&reads, &tasks, &pairs_params);
+            tasks.len() as f64 / out.elapsed.as_secs_f64().max(1e-9)
+        },
+    ));
+
+    let ratio = |num: &str, den: &str| -> f64 {
+        let get = |n: &str| {
+            rows.iter()
+                .find(|r| r.name == n)
+                .map(|r| r.median())
+                .unwrap_or(f64::NAN)
+        };
+        get(num) / get(den)
+    };
+    let ratios = vec![
+        (
+            "packed_vs_scalar_true_overlap".to_string(),
+            ratio("xdrop_true_overlap/packed", "xdrop_true_overlap/scalar"),
+        ),
+        (
+            "packed_vs_scalar_false_positive".to_string(),
+            ratio("xdrop_false_positive/packed", "xdrop_false_positive/scalar"),
+        ),
+        (
+            "packed_vs_scalar_batch".to_string(),
+            ratio("align_batch/packed", "align_batch/scalar"),
+        ),
+    ];
+    (rows, ratios)
+}
+
+// ---------------------------------------------------------------------------
+// Simulator benchmarks
+// ---------------------------------------------------------------------------
+
+/// The queue micro-benchmark payload: big enough (64 B) that moving it
+/// through heap sift operations is visible, like real coordination
+/// messages.
+type QPayload = [u64; 8];
+
+/// In-bench replica of the pre-arena event queue: heap entries carry their
+/// payload, so every sift moves it and every busy-rank deferral pops the
+/// payload out and pushes it back in. Kept here (not in `gnb-sim`) purely
+/// as the honest "before" for the arena queue's numbers.
+struct LegacyEntry {
+    time: SimTime,
+    seq: u64,
+    dst: usize,
+    payload: EventPayload<QPayload>,
+}
+
+impl PartialEq for LegacyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for LegacyEntry {}
+impl PartialOrd for LegacyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LegacyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: min-heap behaviour on (time, seq), as the engine orders.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct LegacyQueue {
+    heap: BinaryHeap<LegacyEntry>,
+    next_seq: u64,
+}
+
+impl LegacyQueue {
+    fn new() -> LegacyQueue {
+        LegacyQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+    fn push(&mut self, time: SimTime, dst: usize, payload: EventPayload<QPayload>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(LegacyEntry {
+            time,
+            seq,
+            dst,
+            payload,
+        });
+    }
+    fn pop(&mut self) -> Option<LegacyEntry> {
+        self.heap.pop()
+    }
+}
+
+/// Steady-state dispatch pattern shared by both queue benchmarks: a
+/// preloaded backlog, then for each op pop the earliest event and either
+/// defer it (every 4th op — the busy-rank path) or consume it and schedule
+/// a successor. Integer-derived virtual times keep the pattern
+/// deterministic.
+const QUEUE_BACKLOG: usize = 512;
+
+fn queue_rate_arena(ops: usize) -> f64 {
+    let mut q: EventQueue<QPayload> = EventQueue::with_capacity(QUEUE_BACKLOG + 4);
+    for i in 0..QUEUE_BACKLOG {
+        q.push(
+            SimTime::from_ns(i as u64),
+            i % 64,
+            EventPayload::Message {
+                src: i % 64,
+                msg: [i as u64; 8],
+            },
+        );
+    }
+    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+    let start = Instant::now();
+    for i in 0..ops {
+        let t = (QUEUE_BACKLOG + i) as u64;
+        let ev = q.pop_entry().expect("queue never drains");
+        if i % 4 == 0 {
+            q.requeue(ev, SimTime::from_ns(t));
+        } else {
+            let payload = q.resolve(ev);
+            q.push(SimTime::from_ns(t), ev.dst, payload);
+        }
+    }
+    ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn queue_rate_legacy(ops: usize) -> f64 {
+    let mut q = LegacyQueue::new();
+    for i in 0..QUEUE_BACKLOG {
+        q.push(
+            SimTime::from_ns(i as u64),
+            i % 64,
+            EventPayload::Message {
+                src: i % 64,
+                msg: [i as u64; 8],
+            },
+        );
+    }
+    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+    let start = Instant::now();
+    for i in 0..ops {
+        let t = (QUEUE_BACKLOG + i) as u64;
+        let ev = q.pop().expect("queue never drains");
+        // Pre-arena, the busy-rank deferral and the consume-and-reschedule
+        // paths are mechanically identical: either way the payload rides
+        // the heap out and back in. (The arena queue's deferral skips the
+        // payload entirely — that asymmetry is what this pair measures.)
+        q.push(SimTime::from_ns(t), ev.dst, ev.payload);
+    }
+    ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Message-heavy engine workload (token ring): each delivery costs one
+/// event, so `report.events / elapsed` is engine events/sec.
+#[derive(Debug, Clone, Copy)]
+enum RingMsg {
+    Token { hops: u32 },
+}
+
+struct Ring {
+    start_hops: u32,
+}
+
+impl Program<RingMsg> for Ring {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RingMsg>) {
+        let next = (ctx.rank() + 1) % ctx.nranks();
+        ctx.send(
+            next,
+            64,
+            RingMsg::Token {
+                hops: self.start_hops,
+            },
+        );
+    }
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, RingMsg>,
+        _src: usize,
+        RingMsg::Token { hops }: RingMsg,
+    ) {
+        ctx.advance(SimTime::from_ns(200), TimeCategory::Compute);
+        if hops > 0 {
+            let next = (ctx.rank() + 1) % ctx.nranks();
+            ctx.send(next, 64, RingMsg::Token { hops: hops - 1 });
+        }
+    }
+    fn on_barrier(&mut self, _ctx: &mut Ctx<'_, RingMsg>, _id: u64) {}
+}
+
+fn ring_events_per_sec(ranks: usize, hops: u32) -> f64 {
+    let mut progs: Vec<Ring> = (0..ranks).map(|_| Ring { start_hops: hops }).collect();
+    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+    let start = Instant::now();
+    let report = Engine::new(ranks, NetParams::default())
+        .with_event_capacity(4 * ranks)
+        .run(&mut progs);
+    report.events as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn bench_sim(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
+    println!("== simulator ==");
+    let mut rows = Vec::new();
+
+    rows.push(sample("event_queue/arena", "ops/s", cfg.reps, || {
+        queue_rate_arena(cfg.queue_ops)
+    }));
+    rows.push(sample(
+        "event_queue/legacy_replica",
+        "ops/s",
+        cfg.reps,
+        || queue_rate_legacy(cfg.queue_ops),
+    ));
+    rows.push(sample(
+        "engine_ring_64r/events",
+        "events/s",
+        cfg.reps,
+        || ring_events_per_sec(64, cfg.ring_hops),
+    ));
+
+    // End-to-end: the async coordination strategy on a scaled E. coli 30x
+    // task graph — the engine under its real message mix.
+    let args = CliArgs {
+        scale: Some(cfg.scale),
+        seed: 42,
+    };
+    let w = gnb_bench::load_workload("ecoli_30x", &args);
+    let m = w.machine(2);
+    let sw = w.prepare(m.nranks());
+    let run_cfg = RunConfig::default();
+    rows.push(sample(
+        "end_to_end_async/events",
+        "events/s",
+        cfg.reps,
+        || {
+            // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
+            let start = Instant::now();
+            let res = run_sim(&sw, &m, Algorithm::Async, &run_cfg);
+            res.events as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        },
+    ));
+
+    let get = |n: &str| {
+        rows.iter()
+            .find(|r| r.name == n)
+            .map(|r| r.median())
+            .unwrap_or(f64::NAN)
+    };
+    let ratios = vec![(
+        "arena_vs_legacy_queue".to_string(),
+        get("event_queue/arena") / get("event_queue/legacy_replica"),
+    )];
+    (rows, ratios)
+}
+
+// ---------------------------------------------------------------------------
+// Main
+// ---------------------------------------------------------------------------
+
+fn main() {
+    // gnb-lint: allow(ambient-env, reason = "CLI flag parsing for the benchmark binary; no simulated result depends on it")
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = Cfg::new(quick);
+    println!(
+        "gnb-bench: mode={}, reps={}, avx2={}",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.reps,
+        simd_active()
+    );
+
+    let (krows, kratios) = bench_kernels(&cfg);
+    let (srows, sratios) = bench_sim(&cfg);
+
+    let root = repo_root();
+    let kpath = root.join("BENCH_kernels.json");
+    let spath = root.join("BENCH_sim.json");
+    std::fs::write(&kpath, render_json(&cfg, &krows, &kratios)).expect("write BENCH_kernels.json");
+    std::fs::write(&spath, render_json(&cfg, &srows, &sratios)).expect("write BENCH_sim.json");
+    println!("wrote {}", kpath.display());
+    println!("wrote {}", spath.display());
+    for (name, v) in kratios.iter().chain(sratios.iter()) {
+        println!("  ratio {name}: {v:.2}");
+    }
+}

@@ -303,7 +303,12 @@ pub fn try_run_sim(
         cfg: &RunConfig,
         fault_plan: &gnb_sim::FaultPlan,
     ) -> Engine<M> {
-        let mut engine = Engine::new(nranks, machine.net);
+        // Pre-size the event queue for the steady state: every rank can
+        // have a handful of in-flight requests/replies plus self-timers,
+        // and barrier completion fans out one event per rank. A hint that
+        // is too small merely costs a reallocation; the report is
+        // identical (see `Engine::with_event_capacity`).
+        let mut engine = Engine::new(nranks, machine.net).with_event_capacity(8 * nranks);
         if cfg.trace_capacity > 0 {
             engine = engine.with_trace(cfg.trace_capacity);
         }

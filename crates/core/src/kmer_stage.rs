@@ -137,7 +137,9 @@ pub fn run_kmer_stage(
     let mut progs: Vec<KmerStageRankProg> = (0..w.nranks)
         .map(|r| KmerStageRankProg::new(Arc::clone(&plan), r))
         .collect();
-    let report = Engine::new(w.nranks, machine.net).run(&mut progs);
+    let report = Engine::new(w.nranks, machine.net)
+        .with_event_capacity(8 * w.nranks)
+        .run(&mut progs);
     crate::breakdown::RuntimeBreakdown::from_report(&report)
 }
 

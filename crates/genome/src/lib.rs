@@ -33,6 +33,7 @@
 pub mod error;
 pub mod fasta;
 pub mod genome;
+pub mod packed;
 pub mod presets;
 pub mod reads;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod stats;
 
 pub use error::ErrorModel;
 pub use genome::{Genome, GenomeParams};
+pub use packed::{PackedSeq, PackedSlice};
 pub use presets::WorkloadPreset;
 pub use reads::{ReadOrigin, ReadSet, Strand};
 pub use seq::{complement, is_valid_dna, revcomp, revcomp_in_place};

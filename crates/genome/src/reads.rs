@@ -6,6 +6,7 @@
 //! argument the paper makes for the BSP code's flat arrays (§4.6).
 
 use crate::error::ErrorModel;
+use crate::packed::{pack_append, PackedSlice};
 use crate::rng::{rng_from_seed, LogNormal};
 use crate::seq::revcomp_in_place;
 use rand::Rng;
@@ -48,12 +49,30 @@ impl ReadOrigin {
 }
 
 /// A set of long reads in flat (structure-of-arrays) storage.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Alongside the byte buffer, every read is 2-bit packed **once at push
+/// time** (codes + N mask, word-aligned per read; see [`crate::packed`]),
+/// so the packed alignment kernel can take [`PackedSlice`] views with zero
+/// per-alignment re-encoding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReadSet {
     data: Vec<u8>,
     /// `offsets.len() == len() + 1`; read `i` is `data[offsets[i]..offsets[i+1]]`.
     offsets: Vec<usize>,
     origins: Vec<ReadOrigin>,
+    /// Packed 2-bit codes, word-aligned per read.
+    pwords: Vec<u64>,
+    /// Packed N mask, parallel to `pwords`.
+    pnmask: Vec<u64>,
+    /// `pstarts.len() == len() + 1`; read `i`'s packed words are
+    /// `pwords[pstarts[i]..pstarts[i+1]]`.
+    pstarts: Vec<usize>,
+}
+
+impl Default for ReadSet {
+    fn default() -> Self {
+        ReadSet::new()
+    }
 }
 
 impl ReadSet {
@@ -63,6 +82,9 @@ impl ReadSet {
             data: Vec::new(),
             offsets: vec![0],
             origins: Vec::new(),
+            pwords: Vec::new(),
+            pnmask: Vec::new(),
+            pstarts: vec![0],
         }
     }
 
@@ -72,6 +94,8 @@ impl ReadSet {
         self.data.extend_from_slice(seq);
         self.offsets.push(self.data.len());
         self.origins.push(origin);
+        pack_append(seq, &mut self.pwords, &mut self.pnmask);
+        self.pstarts.push(self.pwords.len());
         id
     }
 
@@ -94,6 +118,15 @@ impl ReadSet {
     /// intent; provided for call-site clarity).
     pub fn read_len(&self, i: usize) -> usize {
         self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Packed (2-bit + N mask) view of read `i`, encoded once at push time.
+    pub fn packed_read(&self, i: usize) -> PackedSlice<'_> {
+        PackedSlice {
+            words: &self.pwords[self.pstarts[i]..self.pstarts[i + 1]],
+            nmask: &self.pnmask[self.pstarts[i]..self.pstarts[i + 1]],
+            len: self.read_len(i),
+        }
     }
 
     /// Ground-truth origin of read `i`.
@@ -211,6 +244,29 @@ mod tests {
         assert_eq!(rs.read_len(1), 5);
         assert_eq!(rs.total_bases(), 9);
         assert_eq!(rs.lengths(), vec![4, 5]);
+    }
+
+    #[test]
+    fn packed_reads_agree_with_bytes() {
+        let mut rs = ReadSet::new();
+        let o = ReadOrigin {
+            start: 0,
+            ref_len: 0,
+            strand: Strand::Forward,
+        };
+        let long: Vec<u8> = (0..133).map(|i| b"ACGTN"[(i * 3 + 1) % 5]).collect();
+        rs.push(b"ACGT", o);
+        rs.push(&long, o);
+        rs.push(b"", o);
+        rs.push(b"GGNNA", o);
+        for i in 0..rs.len() {
+            let bytes = rs.read(i);
+            let p = rs.packed_read(i);
+            assert_eq!(p.len(), bytes.len(), "read {i}");
+            for (j, &b) in bytes.iter().enumerate() {
+                assert_eq!(p.byte(j), b, "read {i} base {j}");
+            }
+        }
     }
 
     #[test]

@@ -210,6 +210,13 @@ impl<'a, M> Ctx<'a, M> {
             return;
         }
         if fate.duplicated {
+            // Allocation audit: this is the only payload clone in the
+            // engine. A duplicated message is *two* by-value deliveries —
+            // the receiver gets (and may mutate/consume) two independent
+            // payloads — so one copy is inherent to the fault model, not
+            // queue churn. The reliable path below moves `msg` straight
+            // into a recycled arena slot; deferrals re-queue the slot
+            // index without touching the payload (see `event.rs`).
             self.core.fault_stats.msgs_duplicated += 1;
             let dup_arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
             self.core.queue.push(
@@ -446,6 +453,16 @@ impl<M> Engine<M> {
         self
     }
 
+    /// Pre-sizes the event queue (heap and payload arena) for `cap`
+    /// concurrent events, so a well-estimated driver reaches its steady
+    /// state without any queue reallocation. Purely a performance hint:
+    /// the queue grows past `cap` on demand and the report is identical
+    /// either way.
+    pub fn with_event_capacity(mut self, cap: usize) -> Engine<M> {
+        self.core.queue.reserve(cap);
+        self
+    }
+
     /// Runs `programs` (one per rank) to quiescence and returns the report.
     ///
     /// # Panics
@@ -460,14 +477,16 @@ impl<M> Engine<M> {
         for r in 0..self.core.nranks {
             self.core.queue.push(SimTime::ZERO, r, EventPayload::Start);
         }
-        while let Some(ev) = self.core.queue.pop() {
+        while let Some(ev) = self.core.queue.pop_entry() {
             let r = ev.dst;
             let busy = self.core.busy_until[r];
             if busy > ev.time {
                 // Rank still busy: defer until it frees up. Re-queuing (not
                 // executing late) keeps global execution monotone in
-                // virtual time, which the network model relies on.
-                self.core.queue.push(busy, r, ev.payload);
+                // virtual time, which the network model relies on. The
+                // payload stays put in the arena — deferral costs one heap
+                // entry, no payload churn.
+                self.core.queue.requeue(ev, busy);
                 continue;
             }
             // Transient stall: the rank is frozen when this event would
@@ -487,7 +506,7 @@ impl<M> Engine<M> {
                         }
                         self.core.busy_until[r] = thaw;
                         self.core.finish[r] = self.core.finish[r].max(thaw);
-                        self.core.queue.push(thaw, r, ev.payload);
+                        self.core.queue.requeue(ev, thaw);
                         continue;
                     }
                 }
@@ -496,6 +515,7 @@ impl<M> Engine<M> {
             if let Some(rd) = &mut self.core.races {
                 rd.begin_event(r, ev.time, ev.seq);
             }
+            let payload = self.core.queue.resolve(ev);
             let mut ctx = Ctx {
                 core: &mut self.core,
                 rank: r,
@@ -503,7 +523,7 @@ impl<M> Engine<M> {
                 idle_pending: idle,
                 scope: None,
             };
-            match ev.payload {
+            match payload {
                 EventPayload::Start => programs[r].on_start(&mut ctx),
                 EventPayload::Message { src, msg } => programs[r].on_message(&mut ctx, src, msg),
                 EventPayload::BarrierDone { id } => programs[r].on_barrier(&mut ctx, id),
@@ -759,6 +779,20 @@ mod tests {
             Engine::new(6, small_net()).run(&mut progs)
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn event_capacity_hint_does_not_change_report() {
+        let run = |cap: Option<usize>| {
+            let mut progs: Vec<PingPong> = (0..6).map(|_| PingPong { got_pong_at: None }).collect();
+            let mut e = Engine::new(6, small_net());
+            if let Some(c) = cap {
+                e = e.with_event_capacity(c);
+            }
+            e.run(&mut progs)
+        };
+        assert_eq!(run(None), run(Some(1024)));
+        assert_eq!(run(None), run(Some(1)));
     }
 
     #[test]

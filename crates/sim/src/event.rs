@@ -1,4 +1,21 @@
 //! The event queue: a deterministic min-heap over `(time, sequence)`.
+//!
+//! # Zero-churn layout
+//!
+//! Payloads live in an **arena** (`slots` + free list); the binary heap
+//! orders small `Copy` entries that reference a slot by index. This keeps
+//! the hot engine loop allocation-free in the steady state:
+//!
+//! * a deferred event (busy/stalled rank) is re-queued by pushing a fresh
+//!   heap entry for the *same* slot — the payload is never moved, cloned,
+//!   or re-allocated;
+//! * a dispatched event returns its slot to the free list, so the next
+//!   `push` reuses it instead of growing the arena;
+//! * heap sift operations move 40-byte `Copy` entries, not payloads.
+//!
+//! The arena therefore grows to the peak number of *concurrent* pending
+//! events and stays there ([`EventQueue::slot_count`]), no matter how many
+//! events flow through.
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -25,7 +42,8 @@ pub enum EventPayload<M> {
     },
 }
 
-/// A scheduled event targeting one rank.
+/// A scheduled event targeting one rank, with its payload resolved out of
+/// the arena (the by-value interface of [`EventQueue::pop`]).
 #[derive(Debug, Clone)]
 pub struct Event<M> {
     /// Delivery time (the rank may start handling later if busy).
@@ -73,35 +91,57 @@ pub enum TieBreak {
 }
 
 /// Heap entry: `key` bakes in the tie-break policy chosen at push time so
-/// the `BinaryHeap` ordering stays a plain lexicographic compare.
-#[derive(Debug)]
-struct HeapEntry<M> {
+/// the `BinaryHeap` ordering stays a plain lexicographic compare. `Copy` —
+/// the payload stays in the arena, referenced by `slot`.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
     key: (SimTime, u64),
-    ev: Event<M>,
+    time: SimTime,
+    seq: u64,
+    dst: u32,
+    slot: u32,
 }
 
-impl<M> PartialEq for HeapEntry<M> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
     }
 }
-impl<M> Eq for HeapEntry<M> {}
-impl<M> PartialOrd for HeapEntry<M> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for HeapEntry<M> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the earliest event.
         other.key.cmp(&self.key)
     }
 }
 
+/// A popped event whose payload still lives in the arena. `Copy`, so the
+/// engine can inspect `time`/`dst`, then either [`EventQueue::requeue`] it
+/// (busy rank — payload untouched) or [`EventQueue::resolve`] it to take
+/// the payload and recycle the slot.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedEvent {
+    /// Delivery time (the rank may start handling later if busy).
+    pub time: SimTime,
+    /// Global insertion sequence; the deterministic tie-break.
+    pub seq: u64,
+    /// Destination rank.
+    pub dst: usize,
+    slot: u32,
+}
+
 /// Deterministic event queue.
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<HeapEntry<M>>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Payload arena; `None` slots are listed in `free`.
+    slots: Vec<Option<EventPayload<M>>>,
+    free: Vec<u32>,
     next_seq: u64,
     tie_break: TieBreak,
 }
@@ -110,6 +150,8 @@ impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             tie_break: TieBreak::Fifo,
         }
@@ -120,6 +162,25 @@ impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty queue with room for `cap` concurrent events before
+    /// any allocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            ..Self::default()
+        }
+    }
+
+    /// Reserves room for at least `cap` concurrent events.
+    pub fn reserve(&mut self, cap: usize) {
+        let len = self.heap.len();
+        self.heap.reserve(cap.saturating_sub(len));
+        self.slots.reserve(cap.saturating_sub(self.slots.len()));
+        self.free.reserve(cap.saturating_sub(self.free.len()));
     }
 
     /// Sets the equal-time ordering policy (before any events are queued).
@@ -138,6 +199,24 @@ impl<M> EventQueue<M> {
 
     /// Schedules `payload` for `dst` at `time`.
     pub fn push(&mut self, time: SimTime, dst: usize, payload: EventPayload<M>) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "event arena full");
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.push_slot(time, dst, slot);
+    }
+
+    /// Pushes a heap entry for an already-filled slot, assigning the next
+    /// sequence number (the shared tail of `push` and `requeue`).
+    fn push_slot(&mut self, time: SimTime, dst: usize, slot: u32) {
+        debug_assert!(dst < u32::MAX as usize, "rank id out of range");
         let seq = self.next_seq;
         self.next_seq += 1;
         let order = match self.tie_break {
@@ -146,18 +225,58 @@ impl<M> EventQueue<M> {
         };
         self.heap.push(HeapEntry {
             key: (time, order),
-            ev: Event {
-                time,
-                seq,
-                dst,
-                payload,
-            },
+            time,
+            seq,
+            dst: dst as u32,
+            slot,
         });
     }
 
-    /// Pops the earliest event.
+    /// Pops the earliest event as an arena handle. The payload stays in
+    /// its slot until [`EventQueue::resolve`] (or returns to the heap via
+    /// [`EventQueue::requeue`]).
+    pub fn pop_entry(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop().map(|e| QueuedEvent {
+            time: e.time,
+            seq: e.seq,
+            dst: e.dst as usize,
+            slot: e.slot,
+        })
+    }
+
+    /// Re-schedules a popped event for `time` without touching its
+    /// payload. The event gets a fresh sequence number, exactly as if its
+    /// payload had been re-pushed — deferred events sort behind events
+    /// already queued for the same instant (the engine's documented
+    /// busy-rank semantics) — but the payload is neither moved nor cloned.
+    pub fn requeue(&mut self, ev: QueuedEvent, time: SimTime) {
+        debug_assert!(
+            self.slots[ev.slot as usize].is_some(),
+            "requeueing a resolved event"
+        );
+        self.push_slot(time, ev.dst, ev.slot);
+    }
+
+    /// Takes a popped event's payload and recycles its slot.
+    pub fn resolve(&mut self, ev: QueuedEvent) -> EventPayload<M> {
+        let p = self.slots[ev.slot as usize]
+            .take()
+            .expect("resolving an event twice");
+        self.free.push(ev.slot);
+        p
+    }
+
+    /// Pops the earliest event with its payload (the by-value interface;
+    /// equivalent to [`EventQueue::pop_entry`] + [`EventQueue::resolve`]).
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop().map(|e| e.ev)
+        let qe = self.pop_entry()?;
+        let payload = self.resolve(qe);
+        Some(Event {
+            time: qe.time,
+            seq: qe.seq,
+            dst: qe.dst,
+            payload,
+        })
     }
 
     /// Number of pending events.
@@ -168,6 +287,12 @@ impl<M> EventQueue<M> {
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Size of the payload arena: the peak number of concurrent pending
+    /// events seen so far (slots are recycled, never dropped).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -249,5 +374,80 @@ mod tests {
             }
             _ => panic!("wrong payload"),
         }
+    }
+
+    #[test]
+    fn requeue_defers_with_fresh_seq_and_same_payload() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.push(
+            SimTime::from_ns(10),
+            0,
+            EventPayload::Message {
+                src: 0,
+                msg: "deferred",
+            },
+        );
+        q.push(
+            SimTime::from_ns(20),
+            1,
+            EventPayload::Message {
+                src: 0,
+                msg: "other",
+            },
+        );
+        let e = q.pop_entry().unwrap();
+        assert_eq!((e.time.as_ns(), e.dst), (10, 0));
+        let old_seq = e.seq;
+        q.requeue(e, SimTime::from_ns(30));
+        // The other event now comes first; the deferred one follows with a
+        // fresh (larger) sequence number and its payload intact.
+        let mid = q.pop().unwrap();
+        assert_eq!(mid.dst, 1);
+        let back = q.pop().unwrap();
+        assert_eq!(back.time.as_ns(), 30);
+        assert!(back.seq > old_seq, "requeue assigns a fresh seq");
+        assert_eq!(
+            back.payload,
+            EventPayload::Message {
+                src: 0,
+                msg: "deferred"
+            }
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn arena_recycles_slots_in_steady_state() {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(4);
+        for i in 0..10_000u64 {
+            q.push(
+                SimTime::from_ns(i),
+                0,
+                EventPayload::Message { src: 0, msg: i },
+            );
+            q.push(
+                SimTime::from_ns(i),
+                1,
+                EventPayload::Message { src: 0, msg: i },
+            );
+            let a = q.pop_entry().unwrap();
+            let _ = q.resolve(a);
+            let b = q.pop_entry().unwrap();
+            let _ = q.resolve(b);
+        }
+        // 20k events flowed through; the arena never outgrew the peak of
+        // two concurrent events.
+        assert!(q.slot_count() <= 2, "arena grew to {}", q.slot_count());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolving an event twice")]
+    fn double_resolve_panics() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(SimTime::ZERO, 0, EventPayload::Start);
+        let e = q.pop_entry().unwrap();
+        let _ = q.resolve(e);
+        let _ = q.resolve(e);
     }
 }

@@ -6,7 +6,8 @@
 //! shared rayon backend: the parallel and serial alignment paths must emit
 //! identical accepted-alignment sets.
 
-use gnb::align::batch::align_batch_serial;
+use gnb::align::batch::{align_batch_serial, AlignParams};
+use gnb::align::KernelImpl;
 use gnb::core::driver::{run_sim, Algorithm, RunConfig};
 use gnb::core::pipeline::{run_pipeline, PipelineParams};
 use gnb::core::workload::SimWorkload;
@@ -113,6 +114,45 @@ fn three_strategies_and_rayon_backend_agree() {
     for algo in Algorithm::ALL {
         let r = run_sim(&w, &m, algo, &cfg);
         assert_eq!(r.tasks_done as usize, res.tasks.len(), "{algo}");
+        checksums.push(r.task_checksum);
+    }
+    assert!(checksums.windows(2).all(|p| p[0] == p[1]), "{checksums:x?}");
+}
+
+/// The packed production kernel slots into the same chain: both kernels
+/// produce record-identical batch outcomes (same tasks, same cells, same
+/// accepted set), and the workload derived from the packed-kernel run
+/// drives all three coordination strategies to one checksum. Kernel
+/// selection is a pure performance choice — nothing downstream can tell
+/// which one ran.
+#[test]
+fn packed_kernel_drives_identical_simulations() {
+    let preset = presets::ecoli_30x().scaled(1024);
+    let reads = preset.generate(77);
+    let base = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let with_kernel = |kernel| PipelineParams {
+        align: AlignParams {
+            kernel,
+            ..base.align
+        },
+        ..base
+    };
+    let scalar = run_pipeline(&reads, &with_kernel(KernelImpl::Scalar));
+    let packed = run_pipeline(&reads, &with_kernel(KernelImpl::Packed));
+    assert!(!packed.tasks.is_empty());
+    assert_eq!(scalar.tasks, packed.tasks);
+    assert_eq!(scalar.outcome.records, packed.outcome.records);
+    assert_eq!(scalar.outcome.total_cells, packed.outcome.total_cells);
+
+    let m = machine(2, 4);
+    let lengths = reads.lengths();
+    let w = SimWorkload::prepare(&lengths, &packed.tasks, &packed.overlaps, m.nranks());
+    w.validate();
+    let cfg = RunConfig::default();
+    let mut checksums = Vec::new();
+    for algo in Algorithm::ALL {
+        let r = run_sim(&w, &m, algo, &cfg);
+        assert_eq!(r.tasks_done as usize, packed.tasks.len(), "{algo}");
         checksums.push(r.task_checksum);
     }
     assert!(checksums.windows(2).all(|p| p[0] == p[1]), "{checksums:x?}");
