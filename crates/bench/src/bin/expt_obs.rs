@@ -1,0 +1,143 @@
+//! Observability smoke run: all three coordination codes with the
+//! structured trace layer enabled.
+//!
+//! This is the CI gate for the observability determinism contract
+//! (DESIGN.md "Observability"): for each strategy the recording must be
+//! complete (no dropped records), the critical-path attribution must
+//! tile the full virtual runtime, and — for the async code — two runs
+//! of the same seed must export **byte-identical** `.gnbtrace` and
+//! Perfetto JSON artifacts.
+//!
+//! Artifacts land under `results/`: `obs_<algo>.gnbtrace` for every
+//! strategy plus `obs_async.json` (Chrome-trace-event / Perfetto JSON,
+//! loadable in `ui.perfetto.dev`). Exit status is nonzero if any gate
+//! fails, so the workflow fails loudly.
+
+use gnb_bench::{banner, cli_args, load_workload, results_dir, write_tsv};
+use gnb_core::driver::{run_sim, Algorithm, RunConfig};
+use gnb_sim::obs::Obs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = cli_args();
+    if args.scale.is_none() {
+        // Small fixed workload: 3 algos + 1 repeat cell.
+        args.scale = Some(64);
+    }
+    let w = load_workload("ecoli_30x", &args);
+    banner(&format!(
+        "Observability smoke: E. coli 30x (scale {}, {} tasks)",
+        w.scale,
+        w.synth.tasks.len()
+    ));
+
+    let machine = w.machine(2);
+    let sim = w.prepare(machine.nranks());
+    let cfg = RunConfig {
+        obs: true,
+        ..RunConfig::default()
+    };
+
+    println!(
+        "{:<6} | {:>8} {:>8} {:>8} {:>8} | {:>10} {:>16}",
+        "algo", "nodes", "spans", "instants", "series", "tasks", "checksum"
+    );
+    let mut rows = Vec::new();
+    let mut gate_failed = false;
+
+    for algo in Algorithm::ALL {
+        let r = run_sim(&sim, &machine, algo, &cfg);
+        let obs = r.obs().expect("obs enabled");
+        println!(
+            "{:<6} | {:>8} {:>8} {:>8} {:>8} | {:>10} {:>16x}",
+            algo.to_string(),
+            obs.nodes.len(),
+            obs.spans.len(),
+            obs.instants.len(),
+            obs.series.len(),
+            r.tasks_done,
+            r.task_checksum,
+        );
+        rows.push(format!(
+            "{algo}\t{}\t{}\t{}\t{}\t{}\t{:x}",
+            obs.nodes.len(),
+            obs.spans.len(),
+            obs.instants.len(),
+            obs.series.len(),
+            r.tasks_done,
+            r.task_checksum,
+        ));
+
+        if obs.is_truncated() {
+            eprintln!("GATE: {algo} recording truncated (capacities too small for smoke scale)");
+            gate_failed = true;
+        }
+
+        // Critical-path attribution must tile the whole virtual runtime.
+        match gnb_sim::critical_path(obs) {
+            Ok(cp) => {
+                let total: u64 = cp.totals_ns.iter().sum();
+                let end = obs.end_time.as_ns();
+                if total != end {
+                    eprintln!(
+                        "GATE: {algo} critical-path categories sum to {total} ns, end is {end} ns"
+                    );
+                    gate_failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("GATE: {algo} critical path refused: {e}");
+                gate_failed = true;
+            }
+        }
+
+        let path = results_dir().join(format!("obs_{algo}.gnbtrace"));
+        std::fs::write(&path, obs.to_text()).expect("write gnbtrace");
+        eprintln!("[results] wrote {}", path.display());
+    }
+
+    // Repeatability gate: a second async run of the same seed must export
+    // byte-identical artifacts (the acceptance criterion for the trace
+    // layer: recordings are a pure function of the seeded timeline).
+    let a = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+    let b = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+    let (oa, ob): (&Obs, &Obs) = (a.obs().expect("obs"), b.obs().expect("obs"));
+    if oa.to_text() != ob.to_text() {
+        eprintln!("GATE: async .gnbtrace differs between two runs of the same seed:");
+        eprint!("{}", gnb_trace::diff(oa, ob));
+        gate_failed = true;
+    }
+    let (ja, jb) = (gnb_trace::export(oa), gnb_trace::export(ob));
+    if ja != jb {
+        eprintln!("GATE: async Perfetto JSON differs between two runs of the same seed");
+        gate_failed = true;
+    }
+    let json_path = results_dir().join("obs_async.json");
+    std::fs::write(&json_path, &ja).expect("write perfetto json");
+    eprintln!("[results] wrote {}", json_path.display());
+
+    banner("async summarize");
+    print!("{}", gnb_trace::summarize(oa));
+    banner("async critical path");
+    match gnb_trace::critical_path_report(oa) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("GATE: async critical path refused: {e}");
+            gate_failed = true;
+        }
+    }
+
+    write_tsv(
+        "obs_smoke.tsv",
+        "algo\tnodes\tspans\tinstants\tseries\ttasks_done\ttask_checksum",
+        &rows,
+    );
+
+    if gate_failed {
+        eprintln!("expt_obs: observability gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("expt_obs: observability gate passed (complete traces, byte-identical repeats)");
+        ExitCode::SUCCESS
+    }
+}

@@ -197,6 +197,7 @@ mod tests {
             trace: None,
             faults: FaultStats::default(),
             races: None,
+            obs: None,
         }
     }
 
@@ -249,6 +250,7 @@ mod tests {
             trace: None,
             faults: FaultStats::default(),
             races: None,
+            obs: None,
         };
         let b = RuntimeBreakdown::from_report(&r);
         assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0, 0.0));

@@ -118,6 +118,14 @@ pub struct RunConfig {
     /// for perturbation-replay determinism tests: fault-free results must
     /// not change under it.
     pub tie_break: TieBreak,
+    /// Enable the structured observability recorder
+    /// ([`gnb_sim::obs::Obs`]): typed dispatch nodes with causal edges,
+    /// busy spans, recovery instants and virtual-time metric series,
+    /// surfaced in [`RunResult::obs`] for Perfetto export and
+    /// critical-path profiling. Off by default — recording does not
+    /// perturb the timeline (pinned by `tests/observer_invariance.rs`),
+    /// but the record buffers cost memory.
+    pub obs: bool,
 }
 
 /// Conflict records kept when [`RunConfig::detect_races`] is set.
@@ -167,6 +175,7 @@ impl Default for RunConfig {
             trace_capacity: 0,
             detect_races: false,
             tie_break: TieBreak::Fifo,
+            obs: false,
         }
     }
 }
@@ -263,6 +272,11 @@ impl RunResult {
     pub fn races(&self) -> Option<&RaceDetector> {
         self.report.races.as_ref()
     }
+
+    /// Structured observability records (None unless [`RunConfig::obs`]).
+    pub fn obs(&self) -> Option<&gnb_sim::obs::Obs> {
+        self.report.obs.as_ref()
+    }
 }
 
 /// Runs `algo` over the fixed `workload` on `machine`.
@@ -317,6 +331,9 @@ pub fn try_run_sim(
         }
         if cfg.detect_races {
             engine = engine.with_race_detection(RACE_CAPACITY);
+        }
+        if cfg.obs {
+            engine = engine.with_obs(gnb_sim::obs::ObsConfig::default());
         }
         engine.with_tie_break(cfg.tie_break)
     }

@@ -43,6 +43,7 @@ pub use svc::{RecoveryStats, RetryFailure, RuntimeConfig, RuntimeSvc};
 
 use gnb_sim::engine::{Ctx, Program, TimeCategory};
 use gnb_sim::fault::FaultPlan;
+use gnb_sim::obs::InstantKind;
 use gnb_sim::SimTime;
 use std::sync::Arc;
 
@@ -335,6 +336,7 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
         {
             // Failure injection: the reply is lost on the wire.
             self.svc.counters.drops_injected += 1;
+            self.ctx.obs_instant(InstantKind::InjectedDrop, key);
             return;
         }
         self.ctx.send(
@@ -361,10 +363,12 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
         while self.svc.fault.bsp_round_lost(round, attempt) {
             if attempt >= self.svc.cfg.max_retries {
                 self.svc.record_failure(round, attempt + 1);
+                self.ctx.obs_instant(InstantKind::GiveUp, round);
                 return false;
             }
             attempt += 1;
             self.svc.counters.reissued_rounds += 1;
+            self.ctx.obs_instant(InstantKind::Retry, round);
             self.ctx.advance(comm, TimeCategory::Recovery);
         }
         true
@@ -392,6 +396,7 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
             // recovery and discard. Any attempt number is acceptable: the
             // payload is the same.
             self.svc.counters.dup_replies += 1;
+            self.ctx.obs_instant(InstantKind::DupReply, key);
             self.ctx.classify_idle(TimeCategory::Recovery);
             self.ctx
                 .advance(self.svc.cfg.service, TimeCategory::Recovery);
@@ -433,6 +438,7 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
             // RunError::RetryBudgetExhausted.
             entry.arrived = true;
             self.svc.record_failure(key, attempt + 1);
+            self.ctx.obs_instant(InstantKind::GiveUp, key);
             return true;
         }
         // Reply presumed lost: re-issue with the next attempt number and
@@ -442,6 +448,7 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
         let next = attempt + 1;
         entry.attempt = next;
         self.svc.counters.retries += 1;
+        self.ctx.obs_instant(InstantKind::Retry, key);
         let (dst, bytes, payload) = (entry.dst, entry.bytes, entry.payload.clone());
         let prev = self.ctx.ledger_scope(Some(TimeCategory::Recovery));
         self.issue(key, next, dst, bytes, payload);

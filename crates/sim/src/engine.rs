@@ -25,6 +25,7 @@ use crate::event::{EventPayload, EventQueue, TieBreak};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::mem::MemTracker;
 use crate::net::{NetParams, Network};
+use crate::obs::{EdgeKind, InstantKind, MetricId, Obs, ObsConfig, GLOBAL_RANK};
 use crate::stats::Summary;
 use crate::time::SimTime;
 use crate::trace::{RaceDetector, Trace};
@@ -91,6 +92,8 @@ struct EngineCore<M> {
     fault_stats: FaultStats,
     /// Virtual-time race detector (None = not detecting).
     races: Option<RaceDetector>,
+    /// Structured observability recorder (None = not recording).
+    obs: Option<Obs>,
 }
 
 /// Handler context: the engine API available to a running rank.
@@ -137,6 +140,9 @@ impl<'a, M> Ctx<'a, M> {
         if let Some(trace) = &mut self.core.trace {
             trace.record(self.rank, start, self.now, cat);
         }
+        if let Some(obs) = &mut self.core.obs {
+            obs.on_advance(self.rank, start, self.now, cat);
+        }
         let cpu_bound = matches!(cat, TimeCategory::Compute | TimeCategory::Overhead);
         if cpu_bound && dt > SimTime::ZERO {
             let factor = self
@@ -152,6 +158,9 @@ impl<'a, M> Ctx<'a, M> {
                 self.core.fault_stats.straggler_excess += excess;
                 if let Some(trace) = &mut self.core.trace {
                     trace.record(self.rank, slow_start, self.now, TimeCategory::Recovery);
+                }
+                if let Some(obs) = &mut self.core.obs {
+                    obs.on_advance(self.rank, slow_start, self.now, TimeCategory::Recovery);
                 }
             }
         }
@@ -197,6 +206,10 @@ impl<'a, M> Ctx<'a, M> {
     {
         self.core.msg_seq += 1;
         self.core.dst_counts[dst] += 1;
+        if let Some(obs) = &mut self.core.obs {
+            obs.counter_add(MetricId::BytesSent, GLOBAL_RANK, self.now, bytes);
+            obs.counter_add(MetricId::MsgsSent, GLOBAL_RANK, self.now, 1);
+        }
         let fate = self
             .core
             .fault
@@ -207,6 +220,9 @@ impl<'a, M> Ctx<'a, M> {
             // Lost on the wire: the source NIC was still occupied.
             self.core.net.tx_time(self.now, self.rank, dst, bytes);
             self.core.fault_stats.msgs_dropped += 1;
+            if let Some(obs) = &mut self.core.obs {
+                obs.instant(self.rank, self.now, InstantKind::MsgDropped, dst as u64);
+            }
             return;
         }
         if fate.duplicated {
@@ -219,27 +235,38 @@ impl<'a, M> Ctx<'a, M> {
             // index without touching the payload (see `event.rs`).
             self.core.fault_stats.msgs_duplicated += 1;
             let dup_arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
-            self.core.queue.push(
-                dup_arrival + fate.extra_delay,
+            let sched = dup_arrival + fate.extra_delay;
+            let seq = self.core.queue.push(
+                sched,
                 dst,
                 EventPayload::Message {
                     src: self.rank,
                     msg: msg.clone(),
                 },
             );
+            if let Some(obs) = &mut self.core.obs {
+                obs.instant(self.rank, self.now, InstantKind::MsgDuplicated, dst as u64);
+                obs.on_push(seq, EdgeKind::Message, self.now, sched);
+                obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, self.now, 1);
+            }
         }
         if fate.extra_delay > SimTime::ZERO {
             self.core.fault_stats.msgs_delayed += 1;
         }
         let arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
-        self.core.queue.push(
-            arrival + fate.extra_delay,
+        let sched = arrival + fate.extra_delay;
+        let seq = self.core.queue.push(
+            sched,
             dst,
             EventPayload::Message {
                 src: self.rank,
                 msg,
             },
         );
+        if let Some(obs) = &mut self.core.obs {
+            obs.on_push(seq, EdgeKind::Message, self.now, sched);
+            obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, self.now, 1);
+        }
     }
 
     /// Sends `msg` to `dst` (through the network model, so subject to any
@@ -269,14 +296,18 @@ impl<'a, M> Ctx<'a, M> {
     /// Schedules `msg` back to this rank after `delay` (a self-timer; no
     /// network involvement).
     pub fn after(&mut self, delay: SimTime, msg: M) {
-        self.core.queue.push(
-            self.now + delay,
+        let sched = self.now + delay;
+        let seq = self.core.queue.push(
+            sched,
             self.rank,
             EventPayload::Message {
                 src: self.rank,
                 msg,
             },
         );
+        if let Some(obs) = &mut self.core.obs {
+            obs.on_push(seq, EdgeKind::Timer, self.now, sched);
+        }
     }
 
     /// Enters barrier `id`. When all ranks have entered, every rank gets
@@ -298,9 +329,14 @@ impl<'a, M> Ctx<'a, M> {
             let release = st.max_entry + barrier_time(self.core.net.params.alpha_ns, nranks);
             self.core.barriers.remove(&id);
             for r in 0..nranks {
-                self.core
+                let seq = self
+                    .core
                     .queue
                     .push(release, r, EventPayload::BarrierDone { id });
+                if let Some(obs) = &mut self.core.obs {
+                    // Fan-in edge: the cause is the last-entering handler.
+                    obs.on_push(seq, EdgeKind::Barrier, self.now, release);
+                }
             }
         }
     }
@@ -308,11 +344,20 @@ impl<'a, M> Ctx<'a, M> {
     /// Records `bytes` allocated on this rank.
     pub fn mem_alloc(&mut self, bytes: u64) {
         self.core.mem.alloc(self.rank, bytes);
+        self.sample_mem();
     }
 
     /// Records `bytes` freed on this rank.
     pub fn mem_free(&mut self, bytes: u64) {
         self.core.mem.free(self.rank, bytes);
+        self.sample_mem();
+    }
+
+    fn sample_mem(&mut self) {
+        if let Some(obs) = &mut self.core.obs {
+            let cur = self.core.mem.current(self.rank);
+            obs.gauge_set(MetricId::MemCurrent, self.rank as u32, self.now, cur);
+        }
     }
 
     /// Current allocation on this rank.
@@ -336,6 +381,16 @@ impl<'a, M> Ctx<'a, M> {
     pub fn race_write(&mut self, key: u64) {
         if let Some(rd) = &mut self.core.races {
             rd.access(key, true);
+        }
+    }
+
+    /// Marks a point event on the observability timeline (a no-op unless
+    /// [`Engine::with_obs`] was set). Used by runtime layers to surface
+    /// recovery activity — retries, duplicate replies, give-ups — without
+    /// the engine knowing their protocols.
+    pub fn obs_instant(&mut self, kind: InstantKind, key: u64) {
+        if let Some(obs) = &mut self.core.obs {
+            obs.instant(self.rank, self.now, kind, key);
         }
     }
 }
@@ -368,6 +423,8 @@ pub struct SimReport {
     pub faults: FaultStats,
     /// Race-detector results, if detection was enabled.
     pub races: Option<RaceDetector>,
+    /// Structured observability records, if [`Engine::with_obs`] was set.
+    pub obs: Option<Obs>,
 }
 
 impl SimReport {
@@ -418,6 +475,7 @@ impl<M> Engine<M> {
                 dst_counts: vec![0; nranks],
                 fault_stats: FaultStats::default(),
                 races: None,
+                obs: None,
             },
         }
     }
@@ -426,6 +484,15 @@ impl<M> Engine<M> {
     /// [`crate::trace::Trace`]).
     pub fn with_trace(mut self, capacity: usize) -> Engine<M> {
         self.core.trace = Some(Trace::new(capacity));
+        self
+    }
+
+    /// Enables the structured observability recorder (see [`crate::obs`]):
+    /// typed dispatch nodes with causal edges, per-node busy spans, point
+    /// events, and virtual-time metric series. Recording never perturbs
+    /// the simulation: the rest of the report is bit-identical.
+    pub fn with_obs(mut self, cfg: ObsConfig) -> Engine<M> {
+        self.core.obs = Some(Obs::new(cfg, self.core.nranks));
         self
     }
 
@@ -475,7 +542,10 @@ impl<M> Engine<M> {
             "one program per rank required"
         );
         for r in 0..self.core.nranks {
-            self.core.queue.push(SimTime::ZERO, r, EventPayload::Start);
+            let seq = self.core.queue.push(SimTime::ZERO, r, EventPayload::Start);
+            if let Some(obs) = &mut self.core.obs {
+                obs.on_push(seq, EdgeKind::Start, SimTime::ZERO, SimTime::ZERO);
+            }
         }
         while let Some(ev) = self.core.queue.pop_entry() {
             let r = ev.dst;
@@ -486,7 +556,10 @@ impl<M> Engine<M> {
                 // virtual time, which the network model relies on. The
                 // payload stays put in the arena — deferral costs one heap
                 // entry, no payload churn.
-                self.core.queue.requeue(ev, busy);
+                let new_seq = self.core.queue.requeue(ev, busy);
+                if let Some(obs) = &mut self.core.obs {
+                    obs.on_requeue(ev.seq, new_seq);
+                }
                 continue;
             }
             // Transient stall: the rank is frozen when this event would
@@ -506,7 +579,15 @@ impl<M> Engine<M> {
                         }
                         self.core.busy_until[r] = thaw;
                         self.core.finish[r] = self.core.finish[r].max(thaw);
-                        self.core.queue.requeue(ev, thaw);
+                        let new_seq = self.core.queue.requeue(ev, thaw);
+                        if let Some(obs) = &mut self.core.obs {
+                            // The freeze happens outside any handler: the
+                            // span lands on no node, plus a stall interval
+                            // for the critical-path walker.
+                            obs.on_advance(r, at, thaw, TimeCategory::Recovery);
+                            obs.on_stall(r, at, thaw);
+                            obs.on_requeue(ev.seq, new_seq);
+                        }
                         continue;
                     }
                 }
@@ -514,6 +595,9 @@ impl<M> Engine<M> {
             let idle = ev.time.saturating_sub(busy);
             if let Some(rd) = &mut self.core.races {
                 rd.begin_event(r, ev.time, ev.seq);
+            }
+            if let Some(obs) = &mut self.core.obs {
+                obs.begin_dispatch(r, ev.time, ev.seq, self.core.queue.len());
             }
             let payload = self.core.queue.resolve(ev);
             let mut ctx = Ctx {
@@ -531,6 +615,9 @@ impl<M> Engine<M> {
             let end = ctx.now;
             let leftover_idle = ctx.idle_pending;
             self.core.unclassified_idle[r] += leftover_idle;
+            if let Some(obs) = &mut self.core.obs {
+                obs.end_dispatch(end);
+            }
             self.core.busy_until[r] = end;
             self.core.finish[r] = self.core.finish[r].max(end);
             self.core.events_processed += 1;
@@ -550,11 +637,15 @@ impl<M> Engine<M> {
             .copied()
             .max()
             .unwrap_or(SimTime::ZERO);
+        if let Some(obs) = &mut self.core.obs {
+            obs.finish(end_time);
+        }
         SimReport {
             end_time,
             trace: self.core.trace.take(),
             faults: self.core.fault_stats,
             races: self.core.races.take(),
+            obs: self.core.obs.take(),
             ranks: (0..self.core.nranks)
                 .map(|r| RankReport {
                     finish: self.core.finish[r],
@@ -1155,6 +1246,97 @@ mod tests {
                 .run(&mut progs)
         }
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn obs_records_causal_dag() {
+        use crate::obs::{EdgeKind, MetricId, ObsConfig, GLOBAL_RANK, NO_NODE};
+        let mut progs: Vec<PingPong> = (0..2).map(|_| PingPong { got_pong_at: None }).collect();
+        let report = Engine::new(2, small_net())
+            .with_obs(ObsConfig::default())
+            .run(&mut progs);
+        let obs = report.obs.expect("obs enabled");
+        assert!(!obs.is_truncated());
+        assert_eq!(obs.nodes.len() as u64, report.events);
+        assert_eq!(obs.end_time, report.end_time);
+        assert_eq!(obs.unresolved_edges, 0, "every edge resolved");
+        // Two starts, then ping delivery caused by rank 0's start, then
+        // pong delivery caused by the ping handler.
+        let starts: Vec<_> = obs
+            .nodes
+            .iter()
+            .filter(|n| n.kind == EdgeKind::Start)
+            .collect();
+        assert_eq!(starts.len(), 2);
+        assert!(starts.iter().all(|n| n.cause == NO_NODE));
+        let msgs: Vec<_> = obs
+            .nodes
+            .iter()
+            .filter(|n| n.kind == EdgeKind::Message)
+            .collect();
+        assert_eq!(msgs.len(), 2);
+        let ping = msgs[0];
+        let pong = msgs[1];
+        assert_eq!(
+            obs.nodes[ping.cause as usize].rank, 0,
+            "ping sent by rank 0"
+        );
+        assert_eq!(pong.cause, ping.id, "pong caused by the ping handler");
+        assert_eq!(pong.push_time, ping.start, "pushed during the handler");
+        assert_eq!(pong.sched_time, pong.start, "idle rank: no deferral");
+        // Metrics saw both sends and a drained in-flight gauge.
+        let sent = obs.get_series(MetricId::MsgsSent, GLOBAL_RANK).unwrap();
+        assert_eq!(sent.last_value(), 2);
+        let bytes = obs.get_series(MetricId::BytesSent, GLOBAL_RANK).unwrap();
+        assert_eq!(bytes.last_value(), 200);
+        let inflight = obs.get_series(MetricId::MsgsInFlight, GLOBAL_RANK).unwrap();
+        assert_eq!(inflight.last_value(), 0);
+    }
+
+    #[test]
+    fn obs_does_not_perturb_the_timeline() {
+        use crate::fault::FaultPlan;
+        use crate::obs::ObsConfig;
+        let run = |observe: bool| {
+            let mut progs: Vec<PingPong> = (0..6).map(|_| PingPong { got_pong_at: None }).collect();
+            let mut e = Engine::new(6, small_net())
+                .with_faults(FaultPlan::new(123).with_message_faults(0.3, 0.3, 0.3, 2_000));
+            if observe {
+                e = e.with_obs(ObsConfig::default());
+            }
+            let mut rep = e.run(&mut progs);
+            rep.obs = None; // compare everything else
+            rep
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn obs_deferred_event_keeps_original_schedule() {
+        use crate::obs::{EdgeKind, ObsConfig};
+        let mut progs: Vec<BusyProg> = (0..2)
+            .map(|_| BusyProg {
+                handled_at: Vec::new(),
+            })
+            .collect();
+        let report = Engine::new(2, small_net())
+            .with_obs(ObsConfig::default())
+            .run(&mut progs);
+        let obs = report.obs.unwrap();
+        // Rank 1 was busy for 1 ms; both pings arrived long before that
+        // but dispatched at/after the millisecond. The recorded nodes keep
+        // their original (pre-deferral) schedule times.
+        let msgs: Vec<_> = obs
+            .nodes
+            .iter()
+            .filter(|n| n.kind == EdgeKind::Message)
+            .collect();
+        assert_eq!(msgs.len(), 2);
+        for m in &msgs {
+            assert!(m.sched_time < SimTime::from_ms(1), "wire arrival recorded");
+            assert!(m.start >= SimTime::from_ms(1), "dispatch deferred");
+        }
+        assert_eq!(obs.unresolved_edges, 0);
     }
 
     #[test]

@@ -197,8 +197,9 @@ impl<M> EventQueue<M> {
         self.tie_break
     }
 
-    /// Schedules `payload` for `dst` at `time`.
-    pub fn push(&mut self, time: SimTime, dst: usize, payload: EventPayload<M>) {
+    /// Schedules `payload` for `dst` at `time`. Returns the assigned
+    /// sequence number (the event's identity for observability edges).
+    pub fn push(&mut self, time: SimTime, dst: usize, payload: EventPayload<M>) -> u64 {
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some(payload);
@@ -210,12 +211,12 @@ impl<M> EventQueue<M> {
                 (self.slots.len() - 1) as u32
             }
         };
-        self.push_slot(time, dst, slot);
+        self.push_slot(time, dst, slot)
     }
 
     /// Pushes a heap entry for an already-filled slot, assigning the next
     /// sequence number (the shared tail of `push` and `requeue`).
-    fn push_slot(&mut self, time: SimTime, dst: usize, slot: u32) {
+    fn push_slot(&mut self, time: SimTime, dst: usize, slot: u32) -> u64 {
         debug_assert!(dst < u32::MAX as usize, "rank id out of range");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -230,6 +231,7 @@ impl<M> EventQueue<M> {
             dst: dst as u32,
             slot,
         });
+        seq
     }
 
     /// Pops the earliest event as an arena handle. The payload stays in
@@ -249,12 +251,13 @@ impl<M> EventQueue<M> {
     /// payload had been re-pushed — deferred events sort behind events
     /// already queued for the same instant (the engine's documented
     /// busy-rank semantics) — but the payload is neither moved nor cloned.
-    pub fn requeue(&mut self, ev: QueuedEvent, time: SimTime) {
+    /// Returns the fresh sequence number.
+    pub fn requeue(&mut self, ev: QueuedEvent, time: SimTime) -> u64 {
         debug_assert!(
             self.slots[ev.slot as usize].is_some(),
             "requeueing a resolved event"
         );
-        self.push_slot(time, ev.dst, ev.slot);
+        self.push_slot(time, ev.dst, ev.slot)
     }
 
     /// Takes a popped event's payload and recycles its slot.
@@ -439,6 +442,21 @@ mod tests {
         // two concurrent events.
         assert!(q.slot_count() <= 2, "arena grew to {}", q.slot_count());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_and_requeue_return_assigned_seq() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let s0 = q.push(SimTime::ZERO, 0, EventPayload::Start);
+        let s1 = q.push(SimTime::ZERO, 1, EventPayload::Start);
+        assert_eq!((s0, s1), (0, 1));
+        let e = q.pop_entry().unwrap();
+        assert_eq!(e.seq, s0);
+        let s2 = q.requeue(e, SimTime::from_ns(5));
+        assert_eq!(s2, 2, "requeue assigns (and reports) a fresh seq");
+        let back = q.pop().unwrap();
+        assert_eq!(back.seq, s1);
+        assert_eq!(q.pop().unwrap().seq, s2);
     }
 
     #[test]

@@ -38,21 +38,27 @@
 #![warn(missing_docs)]
 
 pub mod coll;
+pub mod cpath;
 pub mod engine;
 pub mod event;
+pub mod export;
 pub mod fault;
 pub mod mem;
 pub mod net;
+pub mod obs;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use coll::{alltoallv_time, CollParams, ExchangeLoad};
+pub use cpath::{critical_path, CpCategory, CriticalPath};
 pub use engine::{Ctx, Engine, Program, TimeCategory};
 pub use event::{Event, EventPayload, TieBreak};
+pub use export::chrome_trace_json;
 pub use fault::{backoff_delay, FaultConfig, FaultPlan, FaultStats};
 pub use mem::MemTracker;
 pub use net::{NetParams, Network};
+pub use obs::{EdgeKind, InstantKind, MetricId, Obs, ObsConfig};
 pub use stats::Summary;
 pub use time::SimTime;
 pub use trace::{render_races, RaceDetector, RaceRecord};

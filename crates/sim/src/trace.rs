@@ -291,6 +291,12 @@ pub fn render_timeline(trace: &Trace, nranks: usize, end: SimTime, width: usize)
         out.push_str("|\n");
     }
     out.push_str("     '#' compute  'o' overhead  '~' comm  '.' sync  '!' recovery\n");
+    if trace.dropped > 0 {
+        out.push_str(&format!(
+            "WARNING: {} spans dropped (trace truncated); the blank regions above may have been busy\n",
+            trace.dropped
+        ));
+    }
     out
 }
 
@@ -374,6 +380,27 @@ mod tests {
         assert!(!lines[0].contains('~'));
         assert!(lines[1].contains("~~~~~"), "{}", lines[1]);
         assert!(lines[2].contains("compute"));
+        assert!(!s.contains("WARNING"), "no warning on a complete trace");
+    }
+
+    #[test]
+    fn timeline_warns_when_spans_were_dropped() {
+        let mut t = Trace::new(1);
+        for i in 0..4u64 {
+            t.record(
+                0,
+                SimTime::from_ns(i * 10),
+                SimTime::from_ns(i * 10 + 5),
+                TimeCategory::Compute,
+            );
+        }
+        assert_eq!(t.dropped, 3);
+        let s = render_timeline(&t, 1, SimTime::from_ns(40), 10);
+        let last = s.lines().last().unwrap();
+        assert!(
+            last.contains("WARNING: 3 spans dropped"),
+            "dropped spans must be surfaced, not silently absorbed: {s}"
+        );
     }
 
     #[test]

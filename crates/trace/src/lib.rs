@@ -1,0 +1,270 @@
+//! Analysis of `gnb-sim` observability recordings (`.gnbtrace` files).
+//!
+//! The library half of the `gnb-trace` binary: each subcommand is a pure
+//! `Obs -> String` function so tests can pin outputs byte-for-byte
+//! without spawning processes.
+//!
+//! * [`summarize`] — record counts, truncation status (dropped spans are
+//!   *surfaced*, never silently absorbed), per-category busy totals,
+//!   per-kind node/instant tallies, final metric values;
+//! * [`export`] — Chrome-trace-event / Perfetto JSON
+//!   (re-exported engine: [`gnb_sim::export::chrome_trace_json`]);
+//! * [`critical_path_report`] — the virtual-time critical path attributed
+//!   by category ([`gnb_sim::cpath`]);
+//! * [`diff`] — first-divergence comparison of two recordings.
+//!
+//! Everything is deterministic: same recording in, same bytes out.
+
+#![warn(missing_docs)]
+
+use gnb_sim::cpath::critical_path;
+use gnb_sim::engine::CATEGORIES;
+use gnb_sim::export::{chrome_trace_json, CATEGORY_NAMES};
+use gnb_sim::obs::{EdgeKind, InstantKind, MetricId, Obs, GLOBAL_RANK};
+use std::fmt::Write as _;
+
+/// Parses a `.gnbtrace` file's text.
+pub fn parse(text: &str) -> Result<Obs, String> {
+    Obs::from_text(text)
+}
+
+/// Renders the human summary of a recording.
+pub fn summarize(obs: &Obs) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gnbtrace: {} ranks, end {} ns",
+        obs.nranks,
+        obs.end_time.as_ns()
+    );
+    let _ = writeln!(
+        out,
+        "records: {} nodes, {} spans, {} instants, {} stalls, {} series",
+        obs.nodes.len(),
+        obs.spans.len(),
+        obs.instants.len(),
+        obs.stalls.len(),
+        obs.series.len()
+    );
+    if obs.is_truncated() {
+        let _ = writeln!(
+            out,
+            "TRUNCATED: dropped {} nodes, {} spans, {} instants, {} samples; {} unresolved edges",
+            obs.dropped_nodes,
+            obs.dropped_spans,
+            obs.dropped_instants,
+            obs.dropped_samples(),
+            obs.unresolved_edges
+        );
+    } else {
+        let _ = writeln!(out, "complete: no records dropped");
+    }
+    let _ = writeln!(out, "dispatches by kind:");
+    for kind in [
+        EdgeKind::Start,
+        EdgeKind::Message,
+        EdgeKind::Timer,
+        EdgeKind::Barrier,
+    ] {
+        let n = obs.nodes.iter().filter(|n| n.kind == kind).count();
+        if n > 0 {
+            let _ = writeln!(out, "  {:<10} {:>10}", kind.name(), n);
+        }
+    }
+    let _ = writeln!(out, "busy time by category (all ranks):");
+    let totals = obs.busy_totals_ns();
+    for c in 0..CATEGORIES {
+        if totals[c] > 0 {
+            let _ = writeln!(out, "  {:<10} {:>16} ns", CATEGORY_NAMES[c], totals[c]);
+        }
+    }
+    if !obs.instants.is_empty() {
+        let _ = writeln!(out, "instants by kind:");
+        for kind in [
+            InstantKind::MsgDropped,
+            InstantKind::MsgDuplicated,
+            InstantKind::Retry,
+            InstantKind::DupReply,
+            InstantKind::GiveUp,
+            InstantKind::InjectedDrop,
+        ] {
+            let n = obs.instants.iter().filter(|i| i.kind == kind).count();
+            if n > 0 {
+                let _ = writeln!(out, "  {:<10} {:>10}", kind.name(), n);
+            }
+        }
+    }
+    if !obs.series.is_empty() {
+        let _ = writeln!(out, "metrics (final values):");
+        for s in &obs.series {
+            let rank = if s.rank == GLOBAL_RANK {
+                "all".to_string()
+            } else {
+                format!("r{}", s.rank)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<5} {:>16}  ({} samples{})",
+                s.metric.name(),
+                rank,
+                s.last_value(),
+                s.samples.len(),
+                if s.dropped > 0 {
+                    format!(", {} dropped", s.dropped)
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+    out
+}
+
+/// Exports a recording as Chrome-trace-event / Perfetto JSON.
+pub fn export(obs: &Obs) -> String {
+    chrome_trace_json(obs)
+}
+
+/// Renders the critical-path attribution table (or the refusal message
+/// for a truncated recording as `Err`).
+pub fn critical_path_report(obs: &Obs) -> Result<String, String> {
+    critical_path(obs).map(|cp| cp.render())
+}
+
+/// Compares two recordings; reports the first diverging record line of
+/// their canonical text forms, or declares them identical.
+pub fn diff(a: &Obs, b: &Obs) -> String {
+    let ta = a.to_text();
+    let tb = b.to_text();
+    if ta == tb {
+        return "traces are identical\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, (la, lb)) in ta.lines().zip(tb.lines()).enumerate() {
+        if la != lb {
+            let _ = writeln!(out, "first divergence at record line {}:", i + 1);
+            let _ = writeln!(out, "  a: {la}");
+            let _ = writeln!(out, "  b: {lb}");
+            return out;
+        }
+    }
+    let (na, nb) = (ta.lines().count(), tb.lines().count());
+    let _ = writeln!(
+        out,
+        "traces agree on the first {} lines; lengths differ ({} vs {})",
+        na.min(nb),
+        na,
+        nb
+    );
+    out
+}
+
+/// A metric's sample series rendered as TSV (`time_ns<TAB>value`) —
+/// feedstock for plotting a paper-style timeline.
+pub fn series_tsv(obs: &Obs, metric: MetricId, rank: u32) -> Option<String> {
+    let s = obs.get_series(metric, rank)?;
+    let mut out = String::from("time_ns\tvalue\n");
+    for (t, v) in &s.samples {
+        let _ = writeln!(out, "{}\t{}", t.as_ns(), v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnb_sim::obs::ObsConfig;
+    use gnb_sim::{SimTime, TimeCategory};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    fn sample_obs(cfg: ObsConfig) -> Obs {
+        let mut o = Obs::new(cfg, 2);
+        o.on_push(0, EdgeKind::Start, t(0), t(0));
+        o.on_push(1, EdgeKind::Start, t(0), t(0));
+        o.begin_dispatch(0, t(0), 0, 1);
+        o.on_advance(0, t(0), t(120), TimeCategory::Compute);
+        o.on_push(2, EdgeKind::Message, t(120), t(400));
+        o.counter_add(MetricId::BytesSent, GLOBAL_RANK, t(120), 512);
+        o.end_dispatch(t(120));
+        o.begin_dispatch(1, t(0), 1, 1);
+        o.end_dispatch(t(0));
+        o.begin_dispatch(1, t(400), 2, 0);
+        o.on_advance(1, t(400), t(450), TimeCategory::Overhead);
+        o.instant(1, t(400), InstantKind::Retry, 9);
+        o.end_dispatch(t(450));
+        o.finish(t(450));
+        o
+    }
+
+    #[test]
+    fn summarize_complete_trace() {
+        let s = summarize(&sample_obs(ObsConfig::default()));
+        assert!(s.contains("2 ranks, end 450 ns"), "{s}");
+        assert!(s.contains("complete: no records dropped"));
+        assert!(s.contains("compute"));
+        assert!(s.contains("bytes_sent"));
+        assert!(s.contains("retry"));
+        assert!(!s.contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn summarize_surfaces_dropped_spans() {
+        let cfg = ObsConfig {
+            max_spans: 1,
+            ..ObsConfig::default()
+        };
+        let o = sample_obs(cfg);
+        assert!(o.is_truncated());
+        let s = summarize(&o);
+        assert!(s.contains("TRUNCATED"), "{s}");
+        assert!(s.contains("1 spans"), "dropped-span count surfaced: {s}");
+    }
+
+    #[test]
+    fn critical_path_report_on_complete_trace() {
+        let r = critical_path_report(&sample_obs(ObsConfig::default())).expect("complete");
+        assert!(r.contains("wire"), "{r}");
+        assert!(r.contains("450 ns  total"), "{r}");
+    }
+
+    #[test]
+    fn critical_path_refuses_truncated() {
+        let cfg = ObsConfig {
+            max_spans: 1,
+            ..ObsConfig::default()
+        };
+        let err = critical_path_report(&sample_obs(cfg)).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn diff_identical_and_divergent() {
+        let a = sample_obs(ObsConfig::default());
+        let b = sample_obs(ObsConfig::default());
+        assert_eq!(diff(&a, &b), "traces are identical\n");
+        let mut c = sample_obs(ObsConfig::default());
+        c.instants[0].key = 1234;
+        let d = diff(&a, &c);
+        assert!(d.contains("first divergence"), "{d}");
+        assert!(d.contains("1234"), "{d}");
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let o = sample_obs(ObsConfig::default());
+        let parsed = parse(&o.to_text()).expect("parse");
+        assert_eq!(summarize(&parsed), summarize(&o));
+        assert_eq!(export(&parsed), export(&o));
+    }
+
+    #[test]
+    fn series_tsv_renders() {
+        let o = sample_obs(ObsConfig::default());
+        let tsv = series_tsv(&o, MetricId::BytesSent, GLOBAL_RANK).expect("series");
+        assert_eq!(tsv, "time_ns\tvalue\n120\t512\n");
+        assert!(series_tsv(&o, MetricId::MemCurrent, 0).is_none());
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`overlap`] | candidate generation, blind partition, task redistribution, task stores |
 //! | [`sim`] | discrete-event SPMD machine: network, collectives, barriers, memory |
 //! | [`core`] | the paper's BSP and async coordination codes + experiment drivers |
+//! | [`trace`] | observability-trace analysis: summarize, Perfetto export, critical path |
 //!
 //! ## Quickstart
 //!
@@ -42,3 +43,4 @@ pub use gnb_genome as genome;
 pub use gnb_kmer as kmer;
 pub use gnb_overlap as overlap;
 pub use gnb_sim as sim;
+pub use gnb_trace as trace;

@@ -1,0 +1,84 @@
+//! Golden-trace snapshot test for the observability layer.
+//!
+//! Pins the `gnb-trace summarize` output and the Chrome-trace-event /
+//! Perfetto JSON export of one small seeded async run **byte for byte**.
+//! The recording is a pure function of the seeded timeline, so any drift
+//! in these snapshots means either the timeline moved (a determinism
+//! regression) or the exporter's byte layout changed (which invalidates
+//! downstream tooling that diffs trace artifacts).
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! cargo test --test golden_trace -- --ignored regenerate
+//! ```
+
+use gnb::core::driver::{run_sim, Algorithm, RunConfig};
+use gnb::core::machine::MachineConfig;
+use gnb::core::workload::SimWorkload;
+use gnb::genome::presets;
+use gnb::overlap::synth::{synthesize, SynthParams};
+use gnb::sim::obs::Obs;
+
+/// One tiny fault-free async run: E. coli 30x at scale 2048, synth seed
+/// 11, one KNL node cut down to 2 cores. Small enough that the JSON
+/// snapshot stays reviewable, busy enough to exercise messages, timers,
+/// barriers, and every metric series.
+fn record() -> Obs {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(2);
+    let preset = presets::ecoli_30x().scaled(2048);
+    let w = synthesize(&SynthParams::from_preset(&preset), 11);
+    let sim = SimWorkload::prepare(&w.lengths, &w.tasks, &w.overlap_len, machine.nranks());
+    let cfg = RunConfig {
+        obs: true,
+        ..RunConfig::default()
+    };
+    let mut res = run_sim(&sim, &machine, Algorithm::Async, &cfg);
+    res.report.obs.take().expect("obs enabled")
+}
+
+const GOLDEN_SUMMARY: &str = include_str!("golden/obs_summary.txt");
+const GOLDEN_JSON: &str = include_str!("golden/obs_trace.json");
+
+#[test]
+fn summarize_matches_golden_bytes() {
+    let obs = record();
+    assert_eq!(
+        gnb::trace::summarize(&obs),
+        GOLDEN_SUMMARY,
+        "summarize drifted; regenerate only if the change is intentional"
+    );
+}
+
+#[test]
+fn perfetto_export_matches_golden_bytes() {
+    let obs = record();
+    assert_eq!(
+        gnb::trace::export(&obs),
+        GOLDEN_JSON,
+        "Perfetto JSON drifted; regenerate only if the change is intentional"
+    );
+}
+
+/// The text form round-trips and two recordings of the same seed agree —
+/// the golden bytes are stable, not a lucky capture.
+#[test]
+fn recording_is_reproducible_and_round_trips() {
+    let a = record();
+    let b = record();
+    assert_eq!(a.to_text(), b.to_text());
+    let parsed = gnb::trace::parse(&a.to_text()).expect("round trip");
+    assert_eq!(gnb::trace::export(&parsed), gnb::trace::export(&a));
+}
+
+/// Rewrites the golden files from the current implementation.
+#[test]
+#[ignore = "run explicitly after an intentional format change"]
+fn regenerate() {
+    let obs = record();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("obs_summary.txt"), gnb::trace::summarize(&obs)).unwrap();
+    std::fs::write(dir.join("obs_trace.json"), gnb::trace::export(&obs)).unwrap();
+    eprintln!("regenerated golden trace snapshots under {}", dir.display());
+}

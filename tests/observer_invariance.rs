@@ -1,0 +1,158 @@
+//! Observer invariance: enabling the observability layer must change
+//! *nothing* about a run. The trace recorder hangs off the engine's
+//! dispatch loop as a pure observer — same timeline, same checksums,
+//! same recovery counters, same per-rank breakdowns, bit for bit —
+//! whether it is on or off, for every coordination strategy, with and
+//! without injected faults.
+//!
+//! This is the pin that keeps the `obs` hooks honest: any future hook
+//! that consults the recorder to make a decision (or perturbs event
+//! ordering, or burns an RNG draw) breaks these tests.
+
+use gnb::core::driver::{try_run_sim, Algorithm, RunConfig};
+use gnb::core::workload::SimWorkload;
+use gnb::core::MachineConfig;
+use gnb::genome::presets;
+use gnb::overlap::synth::{synthesize, SynthParams};
+use gnb::sim::FaultConfig;
+use proptest::prelude::*;
+
+fn workload(scale: usize, seed: u64, nranks: usize) -> SimWorkload {
+    let preset = presets::ecoli_30x().scaled(scale);
+    let s = synthesize(&SynthParams::from_preset(&preset), seed);
+    SimWorkload::prepare(&s.lengths, &s.tasks, &s.overlap_len, nranks)
+}
+
+/// Runs `algo` twice — observer off, observer on — and asserts the
+/// reports are identical once the recording itself is stripped.
+fn assert_invariant(
+    w: &SimWorkload,
+    machine: &MachineConfig,
+    algo: Algorithm,
+    cfg: &RunConfig,
+) -> Result<(), TestCaseError> {
+    let off = RunConfig { obs: false, ..*cfg };
+    let on = RunConfig { obs: true, ..*cfg };
+    // Recoverability is a property of the fault plan, not the observer:
+    // both runs must agree on whether they complete at all.
+    match (
+        try_run_sim(w, machine, algo, &off),
+        try_run_sim(w, machine, algo, &on),
+    ) {
+        (Ok(r_off), Ok(r_on)) => {
+            prop_assert!(r_off.report.obs.is_none(), "obs off must record nothing");
+            prop_assert!(r_on.report.obs.is_some(), "obs on must record");
+            let mut stripped = r_on.report.clone();
+            stripped.obs = None;
+            prop_assert_eq!(&r_off.report, &stripped, "{} timeline perturbed", algo);
+            prop_assert_eq!(r_off.task_checksum, r_on.task_checksum);
+            prop_assert_eq!(r_off.tasks_done, r_on.tasks_done);
+            prop_assert_eq!(&r_off.recovery, &r_on.recovery);
+            prop_assert_eq!(&r_off.faults, &r_on.faults);
+            prop_assert_eq!(&r_off.breakdown, &r_on.breakdown);
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            prop_assert_eq!(a.to_string(), b.to_string());
+            Ok(())
+        }
+        (off_r, on_r) => Err(TestCaseError::fail(format!(
+            "{algo}: observer changed the outcome: off={off_r:?} on={on_r:?}"
+        ))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random workloads x all three strategies x faults on/off: the
+    /// recording never perturbs the timeline.
+    #[test]
+    fn observer_never_perturbs_the_run(
+        wl_seed in 0u64..1024,
+        fault_seed in any::<u64>(),
+        faulty in any::<bool>(),
+        drop_pct in 0u32..10,
+        dup_pct in 0u32..6,
+        straggler in 0u32..3,
+    ) {
+        let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+        let w = workload(512, wl_seed, machine.nranks());
+        let cfg = RunConfig {
+            rpc_max_retries: 24,
+            fault: if faulty {
+                FaultConfig {
+                    seed: fault_seed,
+                    drop_prob: drop_pct as f64 / 100.0,
+                    dup_prob: dup_pct as f64 / 100.0,
+                    delay_prob: 0.1,
+                    delay_ns: 300_000,
+                    bsp_round_drop_prob: drop_pct as f64 / 100.0,
+                    straggler_period: if straggler > 0 { 3 } else { 0 },
+                    straggler_factor: 1.0 + straggler as f64,
+                    ..FaultConfig::default()
+                }
+            } else {
+                FaultConfig::default()
+            },
+            ..RunConfig::default()
+        };
+        for algo in Algorithm::ALL {
+            assert_invariant(&w, &machine, algo, &cfg)?;
+        }
+    }
+}
+
+/// The recording itself is reproducible: two observed runs of the same
+/// configuration produce byte-identical `.gnbtrace` text.
+#[test]
+fn recordings_replay_identically() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let w = workload(512, 9, machine.nranks());
+    let cfg = RunConfig {
+        obs: true,
+        fault: FaultConfig {
+            drop_prob: 0.1,
+            dup_prob: 0.05,
+            delay_prob: 0.1,
+            delay_ns: 250_000,
+            straggler_period: 3,
+            straggler_factor: 2.5,
+            ..FaultConfig::default()
+        },
+        ..RunConfig::default()
+    };
+    for algo in Algorithm::ALL {
+        let a = try_run_sim(&w, &machine, algo, &cfg).unwrap();
+        let b = try_run_sim(&w, &machine, algo, &cfg).unwrap();
+        let (oa, ob) = (a.obs().unwrap(), b.obs().unwrap());
+        assert_eq!(oa.to_text(), ob.to_text(), "{algo}");
+    }
+}
+
+/// Race detection and observation compose: both observers on at once
+/// still changes nothing about the timeline.
+#[test]
+fn observers_compose_without_perturbation() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let w = workload(512, 9, machine.nranks());
+    let bare = RunConfig::default();
+    let both = RunConfig {
+        obs: true,
+        detect_races: true,
+        ..RunConfig::default()
+    };
+    for algo in Algorithm::ALL {
+        let a = try_run_sim(&w, &machine, algo, &bare).unwrap();
+        let b = try_run_sim(&w, &machine, algo, &both).unwrap();
+        let mut stripped = b.report.clone();
+        stripped.obs = None;
+        stripped.races = None;
+        assert_eq!(a.report, stripped, "{algo}");
+        assert!(
+            b.races().unwrap().is_clean(),
+            "{algo}: fault-free conflicts"
+        );
+        assert!(!b.obs().unwrap().is_truncated(), "{algo}");
+    }
+}
