@@ -62,7 +62,7 @@ fn main() {
     let mut rows = Vec::new();
     for &drop in &DROP_RATES {
         for &factor in &STRAGGLER_FACTORS {
-            let mut cfg = baseline;
+            let mut cfg = baseline.clone();
             cfg.fault = FaultConfig {
                 drop_prob: drop,
                 dup_prob: drop / 2.0,

@@ -27,7 +27,7 @@ fn main() {
     for cores in [1usize, 2, 4, 8, 16, 32, 64, 68] {
         let machine = w.machine(1).with_cores_per_node(cores);
         let sim = w.prepare(machine.nranks());
-        let mut c = cfg;
+        let mut c = cfg.clone();
         if cores == 68 {
             c.os_noise = 0.10;
         }

@@ -32,11 +32,13 @@
 use crate::async_alg::{AsyncPlan, AsyncRankPlan};
 use crate::driver::RunConfig;
 use crate::machine::MachineConfig;
-use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig};
+use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig, TAKEOVER_KEY_BASE};
+use gnb_sim::ckpt::{Checkpointable, CkptReader, CkptStore, CkptWriter};
 use gnb_sim::engine::TimeCategory;
+use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Barrier ids (same split-phase/exit pair as plain async).
 const BAR_REG: u64 = 0;
@@ -59,6 +61,13 @@ pub enum AggApp {
         /// Generation the timer was armed for.
         gen: u64,
     },
+    /// Self-timer: serialize protocol progress to the checkpoint store
+    /// and re-arm. Armed only when crashes are scheduled.
+    Ckpt,
+    /// Self-timer: adopt the shard of crashed rank `.0` (fires
+    /// `crash_detect` after its scheduled death; this rank is its
+    /// deterministic successor).
+    Adopt(usize),
 }
 
 /// Deterministic flush-timer jitter: decorrelates flush instants across
@@ -114,11 +123,21 @@ pub struct AggAsyncStrategy {
     batch_seq: u64,
     /// Sent batches awaiting their reply, by batch key.
     batches: BTreeMap<u64, Vec<usize>>,
+
+    /// Per-group completion bitmap (checkpointed so a successor replays
+    /// only unfinished groups).
+    done: Vec<bool>,
+    /// Adopt timers armed but not yet fired (exit is gated on zero).
+    adoptions_left: usize,
+    /// Outstanding adopted re-fetches: namespaced key → (dead rank, index
+    /// into the dead rank's group list).
+    adopted: BTreeMap<u64, (usize, usize)>,
 }
 
 impl AggAsyncStrategy {
     /// Creates the protocol state machine for one rank.
     pub fn new(plan: Arc<AsyncPlan>, rank: usize, cfg: &RunConfig) -> AggAsyncStrategy {
+        let ngroups = plan.per_rank[rank].groups.len();
         AggAsyncStrategy {
             plan,
             rank,
@@ -138,6 +157,9 @@ impl AggAsyncStrategy {
             flush_gen: BTreeMap::new(),
             batch_seq: 0,
             batches: BTreeMap::new(),
+            done: vec![false; ngroups],
+            adoptions_left: 0,
+            adopted: BTreeMap::new(),
         }
     }
 
@@ -153,6 +175,80 @@ impl AggAsyncStrategy {
             rank,
             RuntimeConfig::from_run(machine, cfg),
         )
+    }
+
+    /// Creates the full runtime-hosted rank program with the recovery
+    /// stack: a fault plan carrying the crash schedule and the shared
+    /// checkpoint store. The driver uses this for every run; with no
+    /// crashes scheduled it behaves exactly like [`Self::program`].
+    pub fn program_with_recovery(
+        plan: Arc<AsyncPlan>,
+        rank: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        fault: Arc<FaultPlan>,
+        ckpt: Option<Arc<Mutex<CkptStore>>>,
+    ) -> RankRuntime<AggAsyncStrategy> {
+        RankRuntime::with_recovery(
+            AggAsyncStrategy::new(plan, rank, cfg),
+            rank,
+            RuntimeConfig::from_run(machine, cfg),
+            fault,
+            ckpt,
+        )
+    }
+
+    /// Serializes protocol progress (same layout as the plain-async
+    /// strategy: local cursor, group bitmap, task counter).
+    fn ckpt_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.usize(self.next_local);
+        self.done.checkpoint(&mut w);
+        w.u64(self.tasks_done);
+        w.finish()
+    }
+
+    /// Decodes a checkpoint written by [`Self::ckpt_bytes`] on any rank.
+    fn decode_ckpt(bytes: &[u8]) -> (usize, Vec<bool>, u64) {
+        let mut r = CkptReader::new(bytes);
+        let next_local = r.usize();
+        let done = Vec::<bool>::restore(&mut r);
+        let tasks = r.u64();
+        r.finish();
+        (next_local, done, tasks)
+    }
+
+    /// Adopts dead rank `dead`'s shard: restore, replay the local tail,
+    /// re-fetch unfinished groups as single-read batches under namespaced
+    /// keys (the owner-side batch handler serves them unchanged). The
+    /// re-fetches bypass both the aggregation layer and the flow-control
+    /// window — recovery traffic must not wait behind batching heuristics.
+    fn adopt(&mut self, rt: &mut GCtx<'_, '_>, dead: usize) {
+        rt.note_takeover(dead);
+        let dead_groups = self.plan.per_rank[dead].groups.len();
+        let (next_local, done, ckpt_tasks) = match rt.ckpt_restore(dead) {
+            Some(bytes) => AggAsyncStrategy::decode_ckpt(&bytes),
+            None => (0, vec![false; dead_groups], 0),
+        };
+        rt.note_recovered(ckpt_tasks);
+        self.tasks_done += ckpt_tasks;
+        let dplan = Arc::clone(&self.plan);
+        for &(cp, oh, n) in &dplan.per_rank[dead].local_chunks[next_local..] {
+            rt.advance(oh, TimeCategory::Recovery);
+            rt.advance(cp, TimeCategory::Recovery);
+            self.tasks_done += n;
+        }
+        for (gidx, g) in dplan.per_rank[dead].groups.iter().enumerate() {
+            if done.get(gidx).copied().unwrap_or(false) {
+                continue;
+            }
+            let key = TAKEOVER_KEY_BASE + ((dead as u64) << 32) + g.read as u64;
+            let dst = rt.effective_owner(g.owner as usize);
+            self.adopted.insert(key, (dead, gidx));
+            let bytes = self.cfg_req_bytes + 4;
+            rt.send_tracked(key, dst, bytes, Arc::new(vec![g.read]));
+        }
+        self.adoptions_left -= 1;
     }
 
     fn me(&self) -> &AsyncRankPlan {
@@ -220,7 +316,9 @@ impl AggAsyncStrategy {
 
     fn maybe_finish(&mut self, rt: &mut GCtx<'_, '_>) {
         let me_done = self.next_local >= self.me().local_chunks.len()
-            && self.groups_done == self.me().groups.len();
+            && self.groups_done == self.me().groups.len()
+            && self.adoptions_left == 0
+            && self.adopted.is_empty();
         if me_done && !self.entered_exit {
             self.entered_exit = true;
             rt.barrier_enter(BAR_EXIT);
@@ -247,6 +345,15 @@ impl CoordinationStrategy for AggAsyncStrategy {
     fn on_start(&mut self, rt: &mut GCtx<'_, '_>) {
         rt.mem_alloc(self.me().static_bytes);
         rt.barrier_enter(BAR_REG);
+        // Crash-recovery timers, armed only when crashes are scheduled so
+        // crash-free runs stay event-for-event identical.
+        if rt.ckpt_enabled() {
+            rt.after_app(rt.ckpt_interval(), AggApp::Ckpt);
+        }
+        for (dead, at) in rt.planned_adoptions() {
+            self.adoptions_left += 1;
+            rt.after_app(at + rt.crash_detect(), AggApp::Adopt(dead));
+        }
         self.pump(rt);
         self.ensure_poll(rt);
         self.maybe_finish(rt);
@@ -264,6 +371,7 @@ impl CoordinationStrategy for AggAsyncStrategy {
                     rt.mem_free(bytes);
                     self.tasks_done += n;
                     self.groups_done += 1;
+                    self.done[gidx] = true;
                     // Consumption frees window slots: pull the next reads.
                     self.pump(rt);
                 } else if self.next_local < self.me().local_chunks.len() {
@@ -284,6 +392,21 @@ impl CoordinationStrategy for AggAsyncStrategy {
                     return; // batch already flushed at threshold
                 }
                 self.flush(rt, owner);
+            }
+            AggApp::Ckpt => {
+                // Waiting ended by the checkpoint timer is checkpoint
+                // overhead, like the write it precedes.
+                rt.classify_idle(TimeCategory::Overhead);
+                if !self.entered_exit {
+                    rt.ckpt_save(self.ckpt_bytes());
+                    rt.after_app(rt.ckpt_interval(), AggApp::Ckpt);
+                }
+            }
+            AggApp::Adopt(dead) => {
+                rt.classify_idle(TimeCategory::Recovery);
+                self.adopt(rt, dead);
+                self.ensure_poll(rt);
+                self.maybe_finish(rt);
             }
         }
     }
@@ -308,6 +431,21 @@ impl CoordinationStrategy for AggAsyncStrategy {
     }
 
     fn on_reply(&mut self, rt: &mut GCtx<'_, '_>, key: u64, _p: ()) {
+        if key >= TAKEOVER_KEY_BASE {
+            // An adopted shard's re-fetched read — not a batch this rank
+            // composed. Run the dead rank's group as recovery work.
+            let (dead, gidx) = self
+                .adopted
+                .remove(&key)
+                .expect("reply for an adoption this rank never started");
+            let g = &self.plan.per_rank[dead].groups[gidx];
+            let (oh, cp, n) = (g.overhead, g.compute, g.tasks);
+            rt.advance(oh, TimeCategory::Recovery);
+            rt.advance(cp, TimeCategory::Recovery);
+            self.tasks_done += n;
+            self.maybe_finish(rt);
+            return;
+        }
         let gidxs = self
             .batches
             .remove(&key)
@@ -321,15 +459,28 @@ impl CoordinationStrategy for AggAsyncStrategy {
     }
 
     fn on_give_up(&mut self, rt: &mut GCtx<'_, '_>, key: u64) {
+        // Non-batch keys first: a give-up must never reach the batch map
+        // for a key this rank's batching layer did not mint, or the
+        // unwind panics instead of degrading (adopted re-fetches are the
+        // one such key class; `tests/fault_chaos.rs` pins this).
+        if key >= TAKEOVER_KEY_BASE {
+            self.adopted.remove(&key);
+            self.maybe_finish(rt);
+            return;
+        }
         // The whole batch is abandoned; its tasks stay undone and the
-        // driver reports RunError::RetryBudgetExhausted. Unwind the
-        // window so the rank drains its remaining work.
+        // driver reports RunError::RetryBudgetExhausted (or coverage loss
+        // under graceful degradation). Unwind the window so the rank
+        // drains its remaining work.
         let gidxs = self
             .batches
             .remove(&key)
             .expect("give-up for a batch this rank never sent");
         self.in_flight -= gidxs.len();
         self.groups_done += gidxs.len();
+        for &gidx in &gidxs {
+            self.done[gidx] = true;
+        }
         self.pump(rt);
         self.ensure_poll(rt);
         self.maybe_finish(rt);

@@ -29,12 +29,14 @@
 use crate::cost::CostModel;
 use crate::driver::RunConfig;
 use crate::machine::MachineConfig;
-use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig};
+use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig, TAKEOVER_KEY_BASE};
 use crate::workload::{task_checksum, SimWorkload};
+use gnb_sim::ckpt::{Checkpointable, CkptReader, CkptStore, CkptWriter};
 use gnb_sim::engine::TimeCategory;
+use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
-use std::collections::VecDeque;
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// Barrier ids.
 const BAR_REG: u64 = 0;
@@ -48,6 +50,13 @@ pub enum AsyncApp {
     /// Self-timer: process the next unit of ready work (the polling the
     /// paper notes UPC++ requires).
     Poll,
+    /// Self-timer: serialize protocol progress to the checkpoint store
+    /// and re-arm. Armed only when crashes are scheduled.
+    Ckpt,
+    /// Self-timer: adopt the shard of crashed rank `.0` (fires
+    /// `crash_detect` after its scheduled death; this rank is its
+    /// deterministic successor).
+    Adopt(usize),
 }
 
 /// Precomputed per-rank inputs for the async code.
@@ -174,11 +183,21 @@ pub struct AsyncStrategy {
     poll_scheduled: bool,
     entered_exit: bool,
     tasks_done: u64,
+
+    /// Per-group completion bitmap (checkpointed so a successor replays
+    /// only unfinished groups).
+    done: Vec<bool>,
+    /// Adopt timers armed but not yet fired (exit is gated on zero).
+    adoptions_left: usize,
+    /// Outstanding adopted re-fetches: namespaced key → (dead rank, index
+    /// into the dead rank's group list).
+    adopted: BTreeMap<u64, (usize, usize)>,
 }
 
 impl AsyncStrategy {
     /// Creates the protocol state machine for one rank.
     pub fn new(plan: Arc<AsyncPlan>, rank: usize, cfg: &RunConfig) -> AsyncStrategy {
+        let ngroups = plan.per_rank[rank].groups.len();
         AsyncStrategy {
             plan,
             rank,
@@ -192,6 +211,9 @@ impl AsyncStrategy {
             poll_scheduled: false,
             entered_exit: false,
             tasks_done: 0,
+            done: vec![false; ngroups],
+            adoptions_left: 0,
+            adopted: BTreeMap::new(),
         }
     }
 
@@ -207,6 +229,48 @@ impl AsyncStrategy {
             rank,
             RuntimeConfig::from_run(machine, cfg),
         )
+    }
+
+    /// Creates the full runtime-hosted rank program with the recovery
+    /// stack: a fault plan carrying the crash schedule and the shared
+    /// checkpoint store. The driver uses this for every run; with no
+    /// crashes scheduled it behaves exactly like [`Self::program`].
+    pub fn program_with_recovery(
+        plan: Arc<AsyncPlan>,
+        rank: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        fault: Arc<FaultPlan>,
+        ckpt: Option<Arc<Mutex<CkptStore>>>,
+    ) -> RankRuntime<AsyncStrategy> {
+        RankRuntime::with_recovery(
+            AsyncStrategy::new(plan, rank, cfg),
+            rank,
+            RuntimeConfig::from_run(machine, cfg),
+            fault,
+            ckpt,
+        )
+    }
+
+    /// Serializes protocol progress: the local-chunk cursor, the group
+    /// completion bitmap and the task counter. A successor restoring this
+    /// replays only what the checkpoint does not cover.
+    fn ckpt_bytes(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.usize(self.next_local);
+        self.done.checkpoint(&mut w);
+        w.u64(self.tasks_done);
+        w.finish()
+    }
+
+    /// Decodes a checkpoint written by [`Self::ckpt_bytes`] on any rank.
+    fn decode_ckpt(bytes: &[u8]) -> (usize, Vec<bool>, u64) {
+        let mut r = CkptReader::new(bytes);
+        let next_local = r.usize();
+        let done = Vec::<bool>::restore(&mut r);
+        let tasks = r.u64();
+        r.finish();
+        (next_local, done, tasks)
     }
 
     fn me(&self) -> &AsyncRankPlan {
@@ -245,11 +309,46 @@ impl AsyncStrategy {
 
     fn maybe_finish(&mut self, rt: &mut ACtx<'_, '_>) {
         let me_done = self.next_local >= self.me().local_chunks.len()
-            && self.groups_done == self.me().groups.len();
+            && self.groups_done == self.me().groups.len()
+            && self.adoptions_left == 0
+            && self.adopted.is_empty();
         if me_done && !self.entered_exit {
             self.entered_exit = true;
             rt.barrier_enter(BAR_EXIT);
         }
+    }
+
+    /// Adopts dead rank `dead`'s shard: restore its last checkpoint,
+    /// replay the local-task tail, and re-fetch its unfinished remote
+    /// groups under namespaced keys. All replay work is booked as
+    /// [`TimeCategory::Recovery`]; the re-fetches deliberately bypass the
+    /// flow-control window (recovery traffic must not starve behind the
+    /// successor's own backlog).
+    fn adopt(&mut self, rt: &mut ACtx<'_, '_>, dead: usize) {
+        rt.note_takeover(dead);
+        let dead_groups = self.plan.per_rank[dead].groups.len();
+        let (next_local, done, ckpt_tasks) = match rt.ckpt_restore(dead) {
+            Some(bytes) => AsyncStrategy::decode_ckpt(&bytes),
+            None => (0, vec![false; dead_groups], 0),
+        };
+        rt.note_recovered(ckpt_tasks);
+        self.tasks_done += ckpt_tasks;
+        let dplan = Arc::clone(&self.plan);
+        for &(cp, oh, n) in &dplan.per_rank[dead].local_chunks[next_local..] {
+            rt.advance(oh, TimeCategory::Recovery);
+            rt.advance(cp, TimeCategory::Recovery);
+            self.tasks_done += n;
+        }
+        for (gidx, g) in dplan.per_rank[dead].groups.iter().enumerate() {
+            if done.get(gidx).copied().unwrap_or(false) {
+                continue;
+            }
+            let key = TAKEOVER_KEY_BASE + ((dead as u64) << 32) + g.read as u64;
+            let dst = rt.effective_owner(g.owner as usize);
+            self.adopted.insert(key, (dead, gidx));
+            rt.send_tracked(key, dst, self.cfg_req_bytes, ());
+        }
+        self.adoptions_left -= 1;
     }
 
     fn group_index(&self, read: u32) -> usize {
@@ -282,45 +381,91 @@ impl CoordinationStrategy for AsyncStrategy {
         // Split-phase barrier: enter the registration phase, then overlap
         // local work and request issue while others register.
         rt.barrier_enter(BAR_REG);
+        // Crash-recovery timers, armed only when crashes are scheduled so
+        // crash-free runs stay event-for-event identical.
+        if rt.ckpt_enabled() {
+            rt.after_app(rt.ckpt_interval(), AsyncApp::Ckpt);
+        }
+        for (dead, at) in rt.planned_adoptions() {
+            self.adoptions_left += 1;
+            rt.after_app(at + rt.crash_detect(), AsyncApp::Adopt(dead));
+        }
         self.issue_requests(rt);
         self.ensure_poll(rt);
         self.maybe_finish(rt);
     }
 
     fn on_app(&mut self, rt: &mut ACtx<'_, '_>, _src: usize, msg: AsyncApp) {
-        let AsyncApp::Poll = msg;
-        self.poll_scheduled = false;
-        if let Some(gidx) = self.ready.pop_front() {
-            let g = &self.plan.per_rank[self.rank].groups[gidx];
-            let (oh, cp, n, bytes) = (g.overhead, g.compute, g.tasks, g.bytes);
-            rt.advance(oh, TimeCategory::Overhead);
-            rt.advance(cp, TimeCategory::Compute);
-            rt.mem_free(bytes);
-            self.tasks_done += n;
-            self.groups_done += 1;
-            // Consumption frees a window slot: pull the next read.
-            self.issue_requests(rt);
-        } else if self.next_local < self.me().local_chunks.len() {
-            let (cp, oh, n) = self.plan.per_rank[self.rank].local_chunks[self.next_local];
-            rt.advance(oh, TimeCategory::Overhead);
-            rt.advance(cp, TimeCategory::Compute);
-            self.tasks_done += n;
-            self.next_local += 1;
+        match msg {
+            AsyncApp::Poll => {
+                self.poll_scheduled = false;
+                if let Some(gidx) = self.ready.pop_front() {
+                    let g = &self.plan.per_rank[self.rank].groups[gidx];
+                    let (oh, cp, n, bytes) = (g.overhead, g.compute, g.tasks, g.bytes);
+                    rt.advance(oh, TimeCategory::Overhead);
+                    rt.advance(cp, TimeCategory::Compute);
+                    rt.mem_free(bytes);
+                    self.tasks_done += n;
+                    self.groups_done += 1;
+                    self.done[gidx] = true;
+                    // Consumption frees a window slot: pull the next read.
+                    self.issue_requests(rt);
+                } else if self.next_local < self.me().local_chunks.len() {
+                    let (cp, oh, n) = self.plan.per_rank[self.rank].local_chunks[self.next_local];
+                    rt.advance(oh, TimeCategory::Overhead);
+                    rt.advance(cp, TimeCategory::Compute);
+                    self.tasks_done += n;
+                    self.next_local += 1;
+                }
+                self.ensure_poll(rt);
+                self.maybe_finish(rt);
+            }
+            AsyncApp::Ckpt => {
+                // Waiting ended by the checkpoint timer is checkpoint
+                // overhead, like the write it precedes.
+                rt.classify_idle(TimeCategory::Overhead);
+                if !self.entered_exit {
+                    rt.ckpt_save(self.ckpt_bytes());
+                    rt.after_app(rt.ckpt_interval(), AsyncApp::Ckpt);
+                }
+            }
+            AsyncApp::Adopt(dead) => {
+                rt.classify_idle(TimeCategory::Recovery);
+                self.adopt(rt, dead);
+                self.ensure_poll(rt);
+                self.maybe_finish(rt);
+            }
         }
-        self.ensure_poll(rt);
-        self.maybe_finish(rt);
     }
 
     fn on_request(&mut self, rt: &mut ACtx<'_, '_>, src: usize, key: u64, attempt: u32, _p: ()) {
         self.classify_foreign_idle(rt);
+        // Adopted re-fetches namespace the read id into the takeover key
+        // range; masking recovers it (a no-op for plain read-id keys).
+        let read = (key & 0xFFFF_FFFF) as usize;
         // Owner-side lookup of the (immutable) partition entry.
-        rt.race_read(key);
+        rt.race_read(read as u64);
         // One lookup unit; the reply ships the read itself.
-        let bytes = self.plan.lengths[key as usize] as u64;
+        let bytes = self.plan.lengths[read] as u64;
         rt.serve_reply(src, key, attempt, bytes, 1, ());
     }
 
     fn on_reply(&mut self, rt: &mut ACtx<'_, '_>, key: u64, _p: ()) {
+        if key >= TAKEOVER_KEY_BASE {
+            // An adopted shard's re-fetched read: run the dead rank's
+            // group as recovery work.
+            let (dead, gidx) = self
+                .adopted
+                .remove(&key)
+                .expect("reply for an adoption this rank never started");
+            let g = &self.plan.per_rank[dead].groups[gidx];
+            let (oh, cp, n) = (g.overhead, g.compute, g.tasks);
+            rt.advance(oh, TimeCategory::Recovery);
+            rt.advance(cp, TimeCategory::Recovery);
+            self.tasks_done += n;
+            self.maybe_finish(rt);
+            return;
+        }
         let gidx = self.group_index(key as u32);
         rt.mem_alloc(self.plan.per_rank[self.rank].groups[gidx].bytes);
         self.in_flight -= 1;
@@ -328,11 +473,23 @@ impl CoordinationStrategy for AsyncStrategy {
         self.ensure_poll(rt);
     }
 
-    fn on_give_up(&mut self, rt: &mut ACtx<'_, '_>, _key: u64) {
+    fn on_give_up(&mut self, rt: &mut ACtx<'_, '_>, key: u64) {
+        if key >= TAKEOVER_KEY_BASE {
+            // An adopted re-fetch was abandoned (only possible when
+            // message faults exhaust a budget against a live peer — the
+            // runtime has recorded the failure). Unwind so the rank still
+            // exits.
+            self.adopted.remove(&key);
+            self.maybe_finish(rt);
+            return;
+        }
         // The group is abandoned; its tasks stay undone, which the driver
-        // turns into RunError::RetryBudgetExhausted. Unwind the window so
+        // turns into RunError::RetryBudgetExhausted (or reports as
+        // coverage loss under graceful degradation). Unwind the window so
         // the rank still drains its remaining work and reaches the exit
         // barrier.
+        let gidx = self.group_index(key as u32);
+        self.done[gidx] = true;
         self.in_flight -= 1;
         self.groups_done += 1;
         self.issue_requests(rt);

@@ -22,11 +22,12 @@ use crate::driver::RunConfig;
 use crate::machine::MachineConfig;
 use crate::runtime::{CoordinationStrategy, RankRuntime, RtCtx, RuntimeConfig};
 use crate::workload::{task_checksum, SimWorkload};
+use gnb_sim::ckpt::{CkptReader, CkptStore, CkptWriter};
 use gnb_sim::coll::{alltoallv_time, CollParams, ExchangeLoad};
 use gnb_sim::engine::TimeCategory;
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Precomputed global plan for a BSP run.
 #[derive(Debug, Clone)]
@@ -192,8 +193,18 @@ pub fn plan_bsp(w: &SimWorkload, machine: &MachineConfig, cfg: &RunConfig) -> Bs
     }
 }
 
+/// Strategy-internal messages of the BSP code: only the crash-adoption
+/// self-timer (BSP otherwise exchanges purely through collectives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BspApp {
+    /// Self-timer: adopt the shard of crashed rank `.0` (fires
+    /// `crash_detect` after its scheduled death; this rank is its
+    /// deterministic successor).
+    Adopt(usize),
+}
+
 /// The strategy-facing context of the BSP code.
-type BCtx<'c, 'e> = RtCtx<'c, 'e, (), (), ()>;
+type BCtx<'c, 'e> = RtCtx<'c, 'e, BspApp, (), ()>;
 
 /// The bulk-synchronous superstep state machine, hosted by
 /// [`RankRuntime`]. All communication is through the modelled collective
@@ -225,28 +236,77 @@ impl BspStrategy {
         cfg: &RunConfig,
         fault: Arc<FaultPlan>,
     ) -> RankRuntime<BspStrategy> {
-        RankRuntime::with_fault_plan(
+        BspStrategy::program_with_recovery(plan, rank, machine, cfg, fault, None)
+    }
+
+    /// Creates the full runtime-hosted rank program with the recovery
+    /// stack: the fault plan (crash schedule included) and the shared
+    /// checkpoint store. With no crashes scheduled it behaves exactly
+    /// like [`Self::program`].
+    pub fn program_with_recovery(
+        plan: Arc<BspPlan>,
+        rank: usize,
+        machine: &MachineConfig,
+        cfg: &RunConfig,
+        fault: Arc<FaultPlan>,
+        ckpt: Option<Arc<Mutex<CkptStore>>>,
+    ) -> RankRuntime<BspStrategy> {
+        RankRuntime::with_recovery(
             BspStrategy::new(plan, rank),
             rank,
             RuntimeConfig::from_run(machine, cfg),
             fault,
+            ckpt,
         )
     }
 }
 
 impl CoordinationStrategy for BspStrategy {
-    type App = ();
+    type App = BspApp;
     type Req = ();
     type Rep = ();
 
     fn on_start(&mut self, rt: &mut BCtx<'_, '_>) {
         rt.mem_alloc(self.plan.per_rank[self.rank].static_bytes);
+        // Crash-adoption timers, armed only when this rank is a scheduled
+        // successor (crash-free runs stay event-for-event identical).
+        for (dead, at) in rt.planned_adoptions() {
+            rt.after_app(at + rt.crash_detect(), BspApp::Adopt(dead));
+        }
         // Enter the round-0 exchange.
         rt.barrier_enter(0);
     }
 
-    fn on_app(&mut self, _rt: &mut BCtx<'_, '_>, _src: usize, _msg: ()) {
-        unreachable!("BSP ranks exchange only through collectives");
+    fn on_app(&mut self, rt: &mut BCtx<'_, '_>, _src: usize, msg: BspApp) {
+        let BspApp::Adopt(dead) = msg;
+        // Idle ended by the adoption timer is recovery, like the replay
+        // that follows.
+        rt.classify_idle(TimeCategory::Recovery);
+        rt.note_takeover(dead);
+        let (next_round, ckpt_tasks) = match rt.ckpt_restore(dead) {
+            Some(bytes) => {
+                let mut r = CkptReader::new(&bytes);
+                let next_round = r.usize();
+                let tasks = r.u64();
+                r.finish();
+                (next_round, tasks)
+            }
+            None => (0, 0),
+        };
+        rt.note_recovered(ckpt_tasks);
+        self.tasks_done += ckpt_tasks;
+        // Replay the dead rank's remaining supersteps from the checkpoint
+        // forward. The exchanges are not re-run: the reads a round needs
+        // were replicated to survivors by the pre-crash collectives, so
+        // the replay recomputes from checkpointed input — overhead and
+        // compute only, all booked as recovery.
+        let dplan = Arc::clone(&self.plan);
+        let d = &dplan.per_rank[dead];
+        for r in next_round..dplan.rounds {
+            rt.advance(d.overhead[r], TimeCategory::Recovery);
+            rt.advance(d.compute[r], TimeCategory::Recovery);
+            self.tasks_done += d.tasks[r];
+        }
     }
 
     fn on_barrier(&mut self, rt: &mut BCtx<'_, '_>, id: u64) {
@@ -256,6 +316,14 @@ impl CoordinationStrategy for BspStrategy {
         let round = id as usize;
         if round >= self.plan.rounds {
             return; // final barrier: run complete
+        }
+        // Superstep boundary checkpoint: rounds `0..id` are complete. A
+        // successor restoring this replays from round `id` on.
+        if rt.ckpt_enabled() {
+            let mut w = CkptWriter::new();
+            w.usize(round);
+            w.u64(self.tasks_done);
+            rt.ckpt_save(w.finish());
         }
         let me = &self.plan.per_rank[self.rank];
         // The exchange itself (visible communication) plus the runtime's

@@ -7,15 +7,16 @@ use crate::breakdown::RuntimeBreakdown;
 use crate::bsp::{plan_bsp, BspStrategy};
 use crate::cost::CostModel;
 use crate::machine::MachineConfig;
-pub use crate::runtime::RecoveryStats;
 use crate::runtime::{CoordinationStrategy, RankRuntime};
+pub use crate::runtime::{CrashResponse, RecoveryStats};
 use crate::workload::SimWorkload;
+use gnb_sim::ckpt::{CkptParams, CkptStore};
 use gnb_sim::engine::SimReport;
-use gnb_sim::fault::{FaultConfig, FaultStats};
+use gnb_sim::fault::{CrashPlan, FaultConfig, FaultStats};
 use gnb_sim::trace::RaceDetector;
 use gnb_sim::{Engine, TieBreak};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which coordination code to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,7 +46,7 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// Tunables of a run (costs, RPC window, per-store overheads).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Per-task alignment cost model (set `cost.skip_compute` for the
     /// Fig. 7 communication-only mode).
@@ -93,6 +94,20 @@ pub struct RunConfig {
     pub rpc_max_retries: u32,
     /// Deterministic fault-injection recipe (inactive by default).
     pub fault: FaultConfig,
+    /// Crash-stop schedule: ranks killed at fixed virtual times
+    /// ([`CrashPlan::none`] by default — a crash-free plan leaves every
+    /// run byte-identical to one with no plan at all).
+    pub crash: CrashPlan,
+    /// What survivors do about a detected crash: deterministic ownership
+    /// takeover (exactly-once completion) or graceful degradation
+    /// (coverage loss reported via [`RunResult::lost_tasks`]).
+    pub crash_response: CrashResponse,
+    /// Crash-detection latency, ns: how long after a crash its designated
+    /// successor notices and starts adopting the dead shard.
+    pub crash_detect_ns: u64,
+    /// Checkpoint cadence and modelled stable-storage I/O cost. Consulted
+    /// only when [`Self::crash`] schedules crashes.
+    pub ckpt: CkptParams,
     /// Memory-overhead factor of the BSP exchange: a round moving R bytes
     /// of reads needs ≈ `factor × R` of memory (send-side staging, receive
     /// buffers, MPI internals, unpacking copies — the paper's "challenge
@@ -170,6 +185,10 @@ impl Default for RunConfig {
             rpc_backoff_max_ns: 320_000_000, // 16x the base
             rpc_max_retries: 8,
             fault: FaultConfig::default(),
+            crash: CrashPlan::none(),
+            crash_response: CrashResponse::Takeover,
+            crash_detect_ns: 50_000_000, // 50 ms: a few retry backoffs
+            ckpt: CkptParams::default(),
             bsp_exchange_overhead: 3.5,
             bsp_buffer_factor: 2.0,
             trace_capacity: 0,
@@ -196,6 +215,11 @@ pub enum RunError {
         key: u64,
         /// Attempts made before giving up.
         attempts: u32,
+        /// The rank the final attempt was addressed to.
+        owner: usize,
+        /// Whether that peer was crash-dead (as opposed to transiently
+        /// faulty) when the budget ran dry.
+        crash_dead: bool,
     },
     /// The run terminated but completed the wrong number of tasks (a
     /// coordination bug, surfaced instead of panicking in `try_run_sim`).
@@ -217,10 +241,17 @@ impl std::fmt::Display for RunError {
                 rank,
                 key,
                 attempts,
+                owner,
+                crash_dead,
             } => write!(
                 f,
                 "{algorithm}: rank {rank} exhausted its retry budget after \
-                 {attempts} attempts (key {key})"
+                 {attempts} attempts (key {key}, owner rank {owner}, {})",
+                if *crash_dead {
+                    "peer crash-dead"
+                } else {
+                    "peer transiently faulty"
+                }
             ),
             RunError::TaskMismatch {
                 algorithm,
@@ -258,6 +289,11 @@ pub struct RunResult {
     pub recovery: RecoveryStats,
     /// Injected-fault counters from the engine.
     pub faults: FaultStats,
+    /// Tasks lost to dropped shards under [`CrashResponse::Degrade`]
+    /// (always zero under takeover, where every task completes).
+    pub lost_tasks: u64,
+    /// Ranks the crash schedule killed, ascending.
+    pub dead_ranks: Vec<usize>,
     /// The raw simulation report.
     pub report: SimReport,
 }
@@ -310,7 +346,20 @@ pub fn try_run_sim(
         "workload prepared for {} ranks, machine has {}",
         workload.nranks, nranks
     );
-    let fault_plan = cfg.fault.plan(nranks);
+    let mut fault_plan = cfg.fault.plan(nranks);
+    if !cfg.crash.is_empty() {
+        fault_plan = fault_plan.with_crashes(cfg.crash.clone());
+    }
+    // The shared stable-storage checkpoint store, created only when
+    // crashes are scheduled: crash-free runs take no checkpoints and stay
+    // byte-identical to pre-checkpoint builds. The engine is single-
+    // threaded, so the mutex never contends — it only satisfies the
+    // shared-ownership type.
+    let ckpt_store: Option<Arc<Mutex<CkptStore>>> = if cfg.crash.is_empty() {
+        None
+    } else {
+        Some(Arc::new(Mutex::new(CkptStore::new(nranks))))
+    };
     fn mk_engine<M>(
         nranks: usize,
         machine: &MachineConfig,
@@ -326,7 +375,7 @@ pub fn try_run_sim(
         if cfg.trace_capacity > 0 {
             engine = engine.with_trace(cfg.trace_capacity);
         }
-        if cfg.fault.is_active() {
+        if cfg.fault.is_active() || !cfg.crash.is_empty() {
             engine = engine.with_faults(fault_plan.clone());
         }
         if cfg.detect_races {
@@ -337,26 +386,51 @@ pub fn try_run_sim(
         }
         engine.with_tie_break(cfg.tie_break)
     }
+    // Ranks the crash schedule kills, ascending. In takeover mode their
+    // work is completed by successors; their own partial counters are
+    // excluded so nothing double-counts.
+    let mut dead_ranks: Vec<usize> = cfg.crash.crashes.iter().map(|c| c.rank).collect();
+    dead_ranks.sort_unstable();
+    dead_ranks.dedup();
     /// Strategy-independent result extraction: tasks, checksum, unified
-    /// recovery counters, first retry-budget exhaustion.
+    /// recovery counters, first retry-budget exhaustion. Dead ranks
+    /// contribute no task counts (their work is replayed by a successor
+    /// under takeover, or lost under degrade) and no failures (their
+    /// state died with them); their plan checksums count under takeover —
+    /// the successor completes exactly that task set — and are excluded
+    /// under degrade.
     fn collect<S: CoordinationStrategy>(
         algo: Algorithm,
         progs: &[RankRuntime<S>],
+        dead: &[usize],
+        response: CrashResponse,
     ) -> (u64, u64, RecoveryStats, Option<RunError>) {
-        let done: u64 = progs.iter().map(|p| p.tasks_done()).sum();
+        let done: u64 = progs
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !dead.contains(r))
+            .map(|(_, p)| p.tasks_done())
+            .sum();
         let sum = progs
             .iter()
-            .fold(0u64, |acc, p| acc.wrapping_add(p.checksum()));
+            .enumerate()
+            .filter(|(r, _)| response == CrashResponse::Takeover || !dead.contains(r))
+            .fold(0u64, |acc, (_, p)| acc.wrapping_add(p.checksum()));
         let mut recovery = RecoveryStats::default();
         for p in progs {
             recovery.absorb(p.recovery());
         }
         let failure = progs.iter().enumerate().find_map(|(r, p)| {
+            if dead.contains(&r) {
+                return None;
+            }
             p.failure().map(|f| RunError::RetryBudgetExhausted {
                 algorithm: algo,
                 rank: r,
                 key: f.key,
                 attempts: f.attempts,
+                owner: f.owner,
+                crash_dead: f.crash_dead,
             })
         });
         (done, sum, recovery, failure)
@@ -366,41 +440,79 @@ pub fn try_run_sim(
             let plan = Arc::new(plan_bsp(workload, machine, cfg));
             let fp = Arc::new(fault_plan.clone());
             let mut progs: Vec<_> = (0..nranks)
-                .map(|r| BspStrategy::program(Arc::clone(&plan), r, machine, cfg, Arc::clone(&fp)))
+                .map(|r| {
+                    BspStrategy::program_with_recovery(
+                        Arc::clone(&plan),
+                        r,
+                        machine,
+                        cfg,
+                        Arc::clone(&fp),
+                        ckpt_store.clone(),
+                    )
+                })
                 .collect();
             let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
-            let (done, sum, recovery, failure) = collect(algo, &progs);
+            let (done, sum, recovery, failure) =
+                collect(algo, &progs, &dead_ranks, cfg.crash_response);
             (report, done, sum, plan.rounds, recovery, failure)
         }
         Algorithm::Async => {
             let plan = Arc::new(plan_async(workload, machine, cfg));
+            let fp = Arc::new(fault_plan.clone());
             let mut progs: Vec<_> = (0..nranks)
-                .map(|r| AsyncStrategy::program(Arc::clone(&plan), r, machine, cfg))
+                .map(|r| {
+                    AsyncStrategy::program_with_recovery(
+                        Arc::clone(&plan),
+                        r,
+                        machine,
+                        cfg,
+                        Arc::clone(&fp),
+                        ckpt_store.clone(),
+                    )
+                })
                 .collect();
             let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
-            let (done, sum, recovery, failure) = collect(algo, &progs);
+            let (done, sum, recovery, failure) =
+                collect(algo, &progs, &dead_ranks, cfg.crash_response);
             (report, done, sum, 1, recovery, failure)
         }
         Algorithm::AggAsync => {
             let plan = Arc::new(plan_async(workload, machine, cfg));
+            let fp = Arc::new(fault_plan.clone());
             let mut progs: Vec<_> = (0..nranks)
-                .map(|r| AggAsyncStrategy::program(Arc::clone(&plan), r, machine, cfg))
+                .map(|r| {
+                    AggAsyncStrategy::program_with_recovery(
+                        Arc::clone(&plan),
+                        r,
+                        machine,
+                        cfg,
+                        Arc::clone(&fp),
+                        ckpt_store.clone(),
+                    )
+                })
                 .collect();
             let report = mk_engine(nranks, machine, cfg, &fault_plan).run(&mut progs);
-            let (done, sum, recovery, failure) = collect(algo, &progs);
+            let (done, sum, recovery, failure) =
+                collect(algo, &progs, &dead_ranks, cfg.crash_response);
             (report, done, sum, 1, recovery, failure)
         }
     };
     if let Some(err) = first_failure {
         return Err(err);
     }
-    if tasks_done as usize != workload.total_tasks {
+    let degraded = !dead_ranks.is_empty() && cfg.crash_response == CrashResponse::Degrade;
+    if !degraded && tasks_done as usize != workload.total_tasks {
         return Err(RunError::TaskMismatch {
             algorithm: algo,
             done: tasks_done,
             expected: workload.total_tasks as u64,
         });
     }
+    let lost_tasks = if degraded {
+        (workload.total_tasks as u64).saturating_sub(tasks_done)
+    } else {
+        0
+    };
     Ok(RunResult {
         algorithm: algo,
         nranks,
@@ -413,6 +525,8 @@ pub fn try_run_sim(
         events: report.events,
         recovery,
         faults: report.faults,
+        lost_tasks,
+        dead_ranks,
         report,
     })
 }

@@ -39,13 +39,21 @@
 
 mod svc;
 
-pub use svc::{RecoveryStats, RetryFailure, RuntimeConfig, RuntimeSvc};
+pub use svc::{CrashResponse, RecoveryStats, RetryFailure, RuntimeConfig, RuntimeSvc};
 
+use gnb_sim::ckpt::CkptStore;
 use gnb_sim::engine::{Ctx, Program, TimeCategory};
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::obs::InstantKind;
 use gnb_sim::SimTime;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Base of the namespaced key range used for takeover re-fetches: a
+/// successor re-requesting an adopted shard's remote read `r` (originally
+/// owned by dead rank `d`) uses key `TAKEOVER_KEY_BASE + (d << 32) + r`,
+/// so adopted requests can never collide with the original rank's keys
+/// (plain read ids are `u32`, batch keys sit at `1 << 32`).
+pub const TAKEOVER_KEY_BASE: u64 = 1 << 40;
 
 /// The wire/event enum every runtime-hosted strategy runs over. `A` is
 /// the strategy's own message type (polls, flush timers), `Q`/`P` the
@@ -264,6 +272,122 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
         self.svc.counters
     }
 
+    // ---- crash awareness and checkpointing ----
+
+    /// The configured crash-stop response policy.
+    pub fn crash_response(&self) -> CrashResponse {
+        self.svc.cfg.crash_response
+    }
+
+    /// Whether `rank` is crash-dead at this rank's current virtual time.
+    pub fn crashed_by_now(&self, rank: usize) -> bool {
+        !self.svc.fault.crash.is_empty() && self.svc.fault.crash.crashed_by(rank, self.ctx.now())
+    }
+
+    /// The deterministic takeover successor of `dead`.
+    pub fn successor_of(&self, dead: usize) -> usize {
+        self.svc.fault.crash.successor(dead, self.ctx.nranks())
+    }
+
+    /// `owner` if alive for the whole run, else its takeover successor.
+    /// Routing adopted re-fetches through this keeps them off ranks that
+    /// will themselves die.
+    pub fn effective_owner(&self, owner: usize) -> usize {
+        if self.svc.fault.crash.crash_of(owner).is_some() {
+            self.successor_of(owner)
+        } else {
+            owner
+        }
+    }
+
+    /// Detection latency between a crash and its successor acting on it.
+    pub fn crash_detect(&self) -> SimTime {
+        self.svc.cfg.crash_detect
+    }
+
+    /// The crashes this rank is the designated successor for, as
+    /// `(dead_rank, crash_time)` pairs in deterministic order. Empty when
+    /// no crashes are scheduled or the response policy is
+    /// [`CrashResponse::Degrade`].
+    pub fn planned_adoptions(&self) -> Vec<(usize, SimTime)> {
+        if self.svc.fault.crash.is_empty() || self.svc.cfg.crash_response != CrashResponse::Takeover
+        {
+            return Vec::new();
+        }
+        let me = self.svc.rank;
+        let nranks = self.ctx.nranks();
+        self.svc
+            .fault
+            .crash
+            .crashes
+            .iter()
+            .filter(|c| self.svc.fault.crash.successor(c.rank, nranks) == me)
+            .map(|c| (c.rank, c.at))
+            .collect()
+    }
+
+    /// Whether periodic checkpointing is on (crashes scheduled and a
+    /// store installed). Crash-free runs never checkpoint, so their
+    /// traces and ledgers stay byte-identical to pre-checkpoint builds.
+    pub fn ckpt_enabled(&self) -> bool {
+        self.svc.ckpt_store.is_some() && !self.svc.fault.crash.is_empty()
+    }
+
+    /// The checkpoint cadence.
+    pub fn ckpt_interval(&self) -> SimTime {
+        SimTime::from_ns(self.svc.cfg.ckpt.interval_ns)
+    }
+
+    /// Writes `bytes` as this rank's next checkpoint epoch, booking the
+    /// modelled stable-storage I/O as [`TimeCategory::Overhead`] (the
+    /// fault-free cost of running with checkpoints on). No-op without a
+    /// store.
+    pub fn ckpt_save(&mut self, bytes: Vec<u8>) {
+        let Some(store) = &self.svc.ckpt_store else {
+            return;
+        };
+        let cost = self.svc.cfg.ckpt.io_cost(bytes.len());
+        self.ctx.advance(cost, TimeCategory::Overhead);
+        let epoch = self.svc.ckpt_epoch;
+        self.svc.ckpt_epoch += 1;
+        store.lock().expect("ckpt store poisoned").record(
+            self.svc.rank,
+            epoch,
+            self.ctx.now(),
+            bytes,
+        );
+    }
+
+    /// Reads `dead`'s latest checkpoint from stable storage, booking the
+    /// I/O as [`TimeCategory::Recovery`] and emitting a
+    /// [`InstantKind::Restore`] instant. `None` when the dead rank never
+    /// completed a checkpoint (the successor then replays from scratch).
+    pub fn ckpt_restore(&mut self, dead: usize) -> Option<Vec<u8>> {
+        let store = self.svc.ckpt_store.as_ref()?;
+        let bytes = store
+            .lock()
+            .expect("ckpt store poisoned")
+            .latest(dead)
+            .map(|rec| rec.bytes.clone())?;
+        let cost = self.svc.cfg.ckpt.io_cost(bytes.len());
+        self.ctx.advance(cost, TimeCategory::Recovery);
+        self.svc.counters.restores += 1;
+        self.ctx.obs_instant(InstantKind::Restore, dead as u64);
+        Some(bytes)
+    }
+
+    /// Records that this rank adopted dead rank `dead`'s shard.
+    pub fn note_takeover(&mut self, dead: usize) {
+        self.svc.counters.takeovers += 1;
+        self.ctx.obs_instant(InstantKind::Takeover, dead as u64);
+    }
+
+    /// Records `n` task completions recovered from a checkpoint (work the
+    /// takeover did *not* have to replay).
+    pub fn note_recovered(&mut self, n: u64) {
+        self.svc.counters.recovered_tasks += n;
+    }
+
     /// Issues tracked request `key` to `dst`: books the injection CPU
     /// cost as [`TimeCategory::Overhead`], sends `bytes` on the wire and
     /// — iff the network is unreliable — arms the attempt-0 retry timer
@@ -362,7 +486,8 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
         let mut attempt = 0u32;
         while self.svc.fault.bsp_round_lost(round, attempt) {
             if attempt >= self.svc.cfg.max_retries {
-                self.svc.record_failure(round, attempt + 1);
+                self.svc
+                    .record_failure(round, attempt + 1, self.svc.rank, false);
                 self.ctx.obs_instant(InstantKind::GiveUp, round);
                 return false;
             }
@@ -431,13 +556,50 @@ impl<'c, 'e, A: Clone, Q: Clone, P: Clone> RtCtx<'c, 'e, A, Q, P> {
             return false;
         }
         if attempt >= self.svc.cfg.max_retries {
+            let dst = entry.dst;
+            // Budget escalation doubles as the failure detector: only a
+            // peer that is actually crash-dead at this rank's clock gets
+            // the crash-stop verdict; a transiently-faulty live peer still
+            // produces a structured run error below.
+            let crash_dead = !self.svc.fault.crash.is_empty()
+                && self.svc.fault.crash.crashed_by(dst, self.ctx.now());
+            if crash_dead {
+                match self.svc.cfg.crash_response {
+                    CrashResponse::Takeover => {
+                        // Ownership takeover: retarget the request at the
+                        // dead rank's deterministic successor with a fresh
+                        // attempt budget. All prior timers for this key
+                        // have fired (attempts are sequential) and any
+                        // reply from the dead rank was doomed by the
+                        // engine, so resetting the attempt tag is safe.
+                        let succ = self.svc.fault.crash.successor(dst, self.ctx.nranks());
+                        entry.dst = succ;
+                        entry.attempt = 0;
+                        let (bytes, payload) = (entry.bytes, entry.payload.clone());
+                        self.svc.counters.takeovers += 1;
+                        self.ctx.obs_instant(InstantKind::Takeover, key);
+                        let prev = self.ctx.ledger_scope(Some(TimeCategory::Recovery));
+                        self.issue(key, 0, succ, bytes, payload);
+                        self.ctx.ledger_scope(prev);
+                        return false;
+                    }
+                    CrashResponse::Degrade => {
+                        // Graceful degradation: abandon the request without
+                        // recording a run failure — the strategy unwinds
+                        // and the driver reports coverage loss instead.
+                        entry.arrived = true;
+                        self.ctx.obs_instant(InstantKind::GiveUp, key);
+                        return true;
+                    }
+                }
+            }
             // Retry budget exhausted: give up on this request so the run
             // terminates with a structured error instead of retrying (or
             // hanging) forever. The strategy unwinds; its tasks stay
             // undone, which the driver turns into
             // RunError::RetryBudgetExhausted.
             entry.arrived = true;
-            self.svc.record_failure(key, attempt + 1);
+            self.svc.record_failure(key, attempt + 1, dst, false);
             self.ctx.obs_instant(InstantKind::GiveUp, key);
             return true;
         }
@@ -480,9 +642,21 @@ impl<S: CoordinationStrategy> RankRuntime<S> {
         cfg: RuntimeConfig,
         fault: Arc<FaultPlan>,
     ) -> RankRuntime<S> {
+        RankRuntime::with_recovery(strategy, rank, cfg, fault, None)
+    }
+
+    /// Hosts `strategy` with a full recovery stack: a fault plan (crash
+    /// schedule included) and the shared stable-storage checkpoint store.
+    pub fn with_recovery(
+        strategy: S,
+        rank: usize,
+        cfg: RuntimeConfig,
+        fault: Arc<FaultPlan>,
+        ckpt_store: Option<Arc<Mutex<CkptStore>>>,
+    ) -> RankRuntime<S> {
         RankRuntime {
             strategy,
-            svc: RuntimeSvc::new(cfg, rank, fault),
+            svc: RuntimeSvc::new(cfg, rank, fault, ckpt_store),
         }
     }
 

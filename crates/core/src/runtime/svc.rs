@@ -13,10 +13,28 @@
 
 use crate::driver::RunConfig;
 use crate::machine::MachineConfig;
+use gnb_sim::ckpt::{CkptParams, CkptStore};
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// How a run responds to a detected crash-stop peer failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CrashResponse {
+    /// Survivors deterministically adopt the dead rank's shard: its
+    /// designated successor restores the last checkpoint and replays the
+    /// tail, and requests addressed to the dead rank retarget to the
+    /// successor once the retry budget escalates to a death verdict. Every
+    /// task still completes exactly once.
+    #[default]
+    Takeover,
+    /// Graceful degradation: the dead shard is dropped. Requests to the
+    /// dead rank are abandoned without counting as run failures, and the
+    /// driver reports the coverage loss instead of an error.
+    Degrade,
+}
 
 /// Recovery-machinery counters aggregated per rank (summed across ranks
 /// by the driver). All zero on a reliable network.
@@ -31,6 +49,14 @@ pub struct RecoveryStats {
     /// Exchange rounds re-executed after a detected loss (collective
     /// strategies), summed over ranks.
     pub reissued_rounds: u64,
+    /// Ownership takeovers: requests retargeted to a dead peer's successor
+    /// plus shard adoptions performed by successors.
+    pub takeovers: u64,
+    /// Checkpoint restores performed during recovery.
+    pub restores: u64,
+    /// Tasks whose completion was recovered from a checkpoint (no replay
+    /// needed) during takeover.
+    pub recovered_tasks: u64,
 }
 
 impl RecoveryStats {
@@ -40,6 +66,9 @@ impl RecoveryStats {
         self.dup_replies += other.dup_replies;
         self.drops_injected += other.drops_injected;
         self.reissued_rounds += other.reissued_rounds;
+        self.takeovers += other.takeovers;
+        self.restores += other.restores;
+        self.recovered_tasks += other.recovered_tasks;
     }
 }
 
@@ -52,6 +81,12 @@ pub struct RetryFailure {
     pub key: u64,
     /// Total attempts made (initial issue + retries).
     pub attempts: u32,
+    /// The rank the final attempt was addressed to (BSP rounds: the
+    /// giving-up rank itself).
+    pub owner: usize,
+    /// Whether that peer was crash-dead when the budget ran dry, as
+    /// opposed to merely transiently faulty.
+    pub crash_dead: bool,
 }
 
 /// Tunables the runtime needs from a [`RunConfig`] + machine pair.
@@ -76,6 +111,14 @@ pub struct RuntimeConfig {
     /// Legacy failure injection (0 = off): every Nth served request's
     /// reply is lost.
     pub drop_period: u64,
+    /// Crash-stop response policy (only consulted when the fault plan
+    /// schedules crashes).
+    pub crash_response: CrashResponse,
+    /// Detection latency: how long after a crash its successor notices and
+    /// starts the takeover.
+    pub crash_detect: SimTime,
+    /// Checkpoint cadence and I/O cost model.
+    pub ckpt: CkptParams,
 }
 
 impl RuntimeConfig {
@@ -84,12 +127,19 @@ impl RuntimeConfig {
         RuntimeConfig {
             inject: SimTime::from_ns(machine.rpc_inject_ns),
             service: SimTime::from_ns(machine.rpc_service_ns),
-            unreliable: cfg.rpc_drop_period > 0 || cfg.fault.message_faults_possible(),
+            // Crashes make the wire unreliable too: a dead peer's replies
+            // never come, and only an armed retry timer can notice.
+            unreliable: cfg.rpc_drop_period > 0
+                || cfg.fault.message_faults_possible()
+                || !cfg.crash.is_empty(),
             backoff_base: SimTime::from_ns(cfg.rpc_timeout_ns),
             backoff_max: SimTime::from_ns(cfg.rpc_backoff_max_ns.max(cfg.rpc_timeout_ns)),
             max_retries: cfg.rpc_max_retries,
             fault_seed: cfg.fault.seed,
             drop_period: cfg.rpc_drop_period,
+            crash_response: cfg.crash_response,
+            crash_detect: SimTime::from_ns(cfg.crash_detect_ns),
+            ckpt: cfg.ckpt,
         }
     }
 }
@@ -129,10 +179,20 @@ pub struct RuntimeSvc<Q> {
     /// First retry-budget exhaustion, if any (the run is then incomplete
     /// and the driver reports a structured error).
     pub(crate) failed: Option<RetryFailure>,
+    /// Shared stable-storage checkpoint store (None when no crashes are
+    /// scheduled — crash-free runs take no checkpoints).
+    pub(crate) ckpt_store: Option<Arc<Mutex<CkptStore>>>,
+    /// This rank's monotone checkpoint epoch counter.
+    pub(crate) ckpt_epoch: u64,
 }
 
 impl<Q> RuntimeSvc<Q> {
-    pub(crate) fn new(cfg: RuntimeConfig, rank: usize, fault: Arc<FaultPlan>) -> RuntimeSvc<Q> {
+    pub(crate) fn new(
+        cfg: RuntimeConfig,
+        rank: usize,
+        fault: Arc<FaultPlan>,
+        ckpt_store: Option<Arc<Mutex<CkptStore>>>,
+    ) -> RuntimeSvc<Q> {
         RuntimeSvc {
             cfg,
             rank,
@@ -141,6 +201,8 @@ impl<Q> RuntimeSvc<Q> {
             served: 0,
             counters: RecoveryStats::default(),
             failed: None,
+            ckpt_store,
+            ckpt_epoch: 0,
         }
     }
 
@@ -157,9 +219,20 @@ impl<Q> RuntimeSvc<Q> {
     }
 
     /// Records the first retry-budget exhaustion.
-    pub(crate) fn record_failure(&mut self, key: u64, attempts: u32) {
+    pub(crate) fn record_failure(
+        &mut self,
+        key: u64,
+        attempts: u32,
+        owner: usize,
+        crash_dead: bool,
+    ) {
         if self.failed.is_none() {
-            self.failed = Some(RetryFailure { key, attempts });
+            self.failed = Some(RetryFailure {
+                key,
+                attempts,
+                owner,
+                crash_dead,
+            });
         }
     }
 }

@@ -14,7 +14,32 @@
 
 use crate::partition::Partition;
 use gnb_align::Candidate;
+use gnb_sim::ckpt::{Checkpointable, CkptReader, CkptWriter};
 use serde::{Deserialize, Serialize};
+
+fn ckpt_tasks(tasks: &[Candidate], w: &mut CkptWriter) {
+    w.usize(tasks.len());
+    for t in tasks {
+        w.u32(t.a);
+        w.u32(t.b);
+        w.u32(t.a_pos);
+        w.u32(t.b_pos);
+        w.bool(t.same_strand);
+    }
+}
+
+fn restore_tasks(r: &mut CkptReader<'_>) -> Vec<Candidate> {
+    let n = r.usize();
+    (0..n)
+        .map(|_| Candidate {
+            a: r.u32(),
+            b: r.u32(),
+            a_pos: r.u32(),
+            b_pos: r.u32(),
+            same_strand: r.bool(),
+        })
+        .collect()
+}
 
 /// The per-rank task assignment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,6 +166,43 @@ impl RankWork {
     }
 }
 
+impl Checkpointable for TaskAssignment {
+    fn checkpoint(&self, w: &mut CkptWriter) {
+        w.usize(self.per_rank.len());
+        for tasks in &self.per_rank {
+            ckpt_tasks(tasks, w);
+        }
+    }
+    fn restore(r: &mut CkptReader<'_>) -> Self {
+        let n = r.usize();
+        TaskAssignment {
+            per_rank: (0..n).map(|_| restore_tasks(r)).collect(),
+        }
+    }
+}
+
+impl Checkpointable for RankWork {
+    fn checkpoint(&self, w: &mut CkptWriter) {
+        w.usize(self.rank);
+        ckpt_tasks(&self.local, w);
+        w.usize(self.remote_groups.len());
+        for (key, tasks) in &self.remote_groups {
+            w.u32(*key);
+            ckpt_tasks(tasks, w);
+        }
+    }
+    fn restore(r: &mut CkptReader<'_>) -> Self {
+        let rank = r.usize();
+        let local = restore_tasks(r);
+        let n = r.usize();
+        RankWork {
+            rank,
+            local,
+            remote_groups: (0..n).map(|_| (r.u32(), restore_tasks(r))).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +300,21 @@ mod tests {
             per_rank: vec![vec![], vec![], vec![], vec![cand(0, 1)]],
         };
         assert!(asg.check_invariant(&p).is_err());
+    }
+
+    #[test]
+    fn assignment_and_work_checkpoints_round_trip() {
+        let p = fixture();
+        let tasks: Vec<Candidate> = (0..8u32)
+            .flat_map(|a| ((a + 1)..8).map(move |b| cand(a, b)))
+            .collect();
+        let asg = TaskAssignment::build(&tasks, &p);
+        let bytes = asg.to_ckpt_bytes();
+        assert_eq!(bytes, asg.to_ckpt_bytes(), "deterministic bytes");
+        assert_eq!(TaskAssignment::from_ckpt_bytes(&bytes), asg);
+        for rank in 0..4 {
+            let work = RankWork::split(rank, &asg.per_rank[rank], &p);
+            assert_eq!(RankWork::from_ckpt_bytes(&work.to_ckpt_bytes()), work);
+        }
     }
 }

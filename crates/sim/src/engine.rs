@@ -22,7 +22,7 @@
 
 use crate::coll::barrier_time;
 use crate::event::{EventPayload, EventQueue, TieBreak};
-use crate::fault::{FaultPlan, FaultStats};
+use crate::fault::{FaultPlan, FaultStats, RankCrash};
 use crate::mem::MemTracker;
 use crate::net::{NetParams, Network};
 use crate::obs::{EdgeKind, InstantKind, MetricId, Obs, ObsConfig, GLOBAL_RANK};
@@ -90,10 +90,85 @@ struct EngineCore<M> {
     dst_counts: Vec<u64>,
     /// Injected-fault counters.
     fault_stats: FaultStats,
+    /// Crash-stop liveness flags: `dead[r]` while rank `r` sits inside a
+    /// scheduled death window. Only consulted when the installed
+    /// [`FaultPlan`] carries a non-empty [`crate::fault::CrashPlan`], so
+    /// crash-free runs stay bit-identical.
+    dead: Vec<bool>,
+    /// Engine-internal crash/rebirth mark events: queue seq → (rank,
+    /// is_rebirth). Marks are intercepted before program dispatch, so the
+    /// public [`EventPayload`] enum is unchanged.
+    crash_marks: BTreeMap<u64, (usize, bool)>,
     /// Virtual-time race detector (None = not detecting).
     races: Option<RaceDetector>,
     /// Structured observability recorder (None = not recording).
     obs: Option<Obs>,
+}
+
+impl<M> EngineCore<M> {
+    /// True when the installed fault plan schedules at least one crash.
+    /// Every crash-stop code path is gated on this so that runs without a
+    /// crash plan stay bit-identical to the pre-crash engine.
+    fn crashes_scheduled(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| !f.crash.is_empty())
+    }
+
+    /// Crash-stop wire semantics: a message (or self-timer) pushed at
+    /// `now` for delivery at `sched` dies on the wire if either endpoint
+    /// is dead at delivery or crosses an incarnation boundary in between —
+    /// in-flight traffic does not survive a crash, and a reborn rank never
+    /// sees its previous incarnation's traffic.
+    fn crash_dooms(&self, src: usize, dst: usize, now: SimTime, sched: SimTime) -> bool {
+        match &self.fault {
+            Some(f) if !f.crash.is_empty() => {
+                let c = &f.crash;
+                c.is_dead(src, sched)
+                    || c.incarnation(src, now) != c.incarnation(src, sched)
+                    || c.is_dead(dst, sched)
+                    || c.incarnation(dst, now) != c.incarnation(dst, sched)
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of ranks a barrier must collect at time `t`: every rank
+    /// whose crash has not fired yet. Crashed ranks are excluded
+    /// *permanently* (crash-stop group membership — a reborn rank serves
+    /// traffic again but never rejoins collectives).
+    fn required_ranks(&self, t: SimTime) -> usize {
+        match &self.fault {
+            Some(f) if !f.crash.is_empty() => (0..self.nranks)
+                .filter(|&r| !f.crash.crashed_by(r, t))
+                .count(),
+            _ => self.nranks,
+        }
+    }
+
+    /// Releases barrier `id` (already removed from the pending map):
+    /// pushes [`EventPayload::BarrierDone`] to every rank still in the
+    /// group at `max(entry times) + α·⌈log₂ P⌉`.
+    fn push_barrier_done(&mut self, id: u64, max_entry: SimTime, push_time: SimTime) {
+        let nranks = self.nranks;
+        let release = max_entry + barrier_time(self.net.params.alpha_ns, nranks);
+        let crashes = self.crashes_scheduled();
+        for r in 0..nranks {
+            if crashes
+                && self
+                    .fault
+                    .as_ref()
+                    .is_some_and(|f| f.crash.crashed_by(r, release))
+            {
+                continue;
+            }
+            let seq = self
+                .queue
+                .push(release, r, EventPayload::BarrierDone { id });
+            if let Some(obs) = &mut self.obs {
+                // Fan-in edge: the cause is the releasing handler.
+                obs.on_push(seq, EdgeKind::Barrier, push_time, release);
+            }
+        }
+    }
 }
 
 /// Handler context: the engine API available to a running rank.
@@ -236,18 +311,24 @@ impl<'a, M> Ctx<'a, M> {
             self.core.fault_stats.msgs_duplicated += 1;
             let dup_arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
             let sched = dup_arrival + fate.extra_delay;
-            let seq = self.core.queue.push(
-                sched,
-                dst,
-                EventPayload::Message {
-                    src: self.rank,
-                    msg: msg.clone(),
-                },
-            );
-            if let Some(obs) = &mut self.core.obs {
-                obs.instant(self.rank, self.now, InstantKind::MsgDuplicated, dst as u64);
-                obs.on_push(seq, EdgeKind::Message, self.now, sched);
-                obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, self.now, 1);
+            if self.core.crash_dooms(self.rank, dst, self.now, sched) {
+                // The retransmission copy dies on the wire: the NIC time
+                // was spent, the payload never arrives.
+                self.core.fault_stats.crash_events_dropped += 1;
+            } else {
+                let seq = self.core.queue.push(
+                    sched,
+                    dst,
+                    EventPayload::Message {
+                        src: self.rank,
+                        msg: msg.clone(),
+                    },
+                );
+                if let Some(obs) = &mut self.core.obs {
+                    obs.instant(self.rank, self.now, InstantKind::MsgDuplicated, dst as u64);
+                    obs.on_push(seq, EdgeKind::Message, self.now, sched);
+                    obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, self.now, 1);
+                }
             }
         }
         if fate.extra_delay > SimTime::ZERO {
@@ -255,6 +336,13 @@ impl<'a, M> Ctx<'a, M> {
         }
         let arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
         let sched = arrival + fate.extra_delay;
+        if self.core.crash_dooms(self.rank, dst, self.now, sched) {
+            // Crash-stop loss: either endpoint dies (or is reborn) before
+            // delivery, so the message fails in flight. The sender already
+            // paid the full NIC occupancy — physically the bytes left.
+            self.core.fault_stats.crash_events_dropped += 1;
+            return;
+        }
         let seq = self.core.queue.push(
             sched,
             dst,
@@ -297,6 +385,13 @@ impl<'a, M> Ctx<'a, M> {
     /// network involvement).
     pub fn after(&mut self, delay: SimTime, msg: M) {
         let sched = self.now + delay;
+        // The fault-injection contract keeps self-timers out of the
+        // *message* fault plan, but a crash is not a message fault: a
+        // timer dies with the incarnation that armed it.
+        if self.core.crash_dooms(self.rank, self.rank, self.now, sched) {
+            self.core.fault_stats.crash_events_dropped += 1;
+            return;
+        }
         let seq = self.core.queue.push(
             sched,
             self.rank,
@@ -318,6 +413,20 @@ impl<'a, M> Ctx<'a, M> {
     /// rank keeps processing messages in between (paper §3.2).
     pub fn barrier_enter(&mut self, id: u64) {
         let nranks = self.core.nranks;
+        // A handler dispatched before the rank's crash can reach this call
+        // at a virtual `now` past the crash: the rank died mid-handler and
+        // never made it to the barrier, so the entry does not happen.
+        if self
+            .core
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crash.crashed_by(self.rank, self.now))
+        {
+            return;
+        }
+        // Under a crash plan a barrier only waits for ranks whose crash
+        // has not fired yet; without one this is exactly `nranks`.
+        let required = self.core.required_ranks(self.now);
         let st = self.core.barriers.entry(id).or_default();
         st.entered += 1;
         assert!(
@@ -325,19 +434,10 @@ impl<'a, M> Ctx<'a, M> {
             "barrier {id} entered more times than there are ranks"
         );
         st.max_entry = st.max_entry.max(self.now);
-        if st.entered == nranks {
-            let release = st.max_entry + barrier_time(self.core.net.params.alpha_ns, nranks);
+        if st.entered >= required {
+            let max_entry = st.max_entry;
             self.core.barriers.remove(&id);
-            for r in 0..nranks {
-                let seq = self
-                    .core
-                    .queue
-                    .push(release, r, EventPayload::BarrierDone { id });
-                if let Some(obs) = &mut self.core.obs {
-                    // Fan-in edge: the cause is the last-entering handler.
-                    obs.on_push(seq, EdgeKind::Barrier, self.now, release);
-                }
-            }
+            self.core.push_barrier_done(id, max_entry, self.now);
         }
     }
 
@@ -474,6 +574,8 @@ impl<M> Engine<M> {
                 msg_seq: 0,
                 dst_counts: vec![0; nranks],
                 fault_stats: FaultStats::default(),
+                dead: vec![false; nranks],
+                crash_marks: BTreeMap::new(),
                 races: None,
                 obs: None,
             },
@@ -541,6 +643,26 @@ impl<M> Engine<M> {
             self.core.nranks,
             "one program per rank required"
         );
+        // Schedule crash/rebirth marks first, so a crash at the same
+        // virtual time as a program event wins the FIFO tie-break and the
+        // dead rank never dispatches it. Marks are engine-internal events
+        // (the payload is a placeholder, intercepted by seq before program
+        // dispatch) and exist only when the plan carries crashes, so a
+        // crash-free run pushes nothing here.
+        let scheduled: Vec<RankCrash> = self
+            .core
+            .fault
+            .as_ref()
+            .map(|f| f.crash.crashes.clone())
+            .unwrap_or_default();
+        for c in scheduled {
+            let seq = self.core.queue.push(c.at, c.rank, EventPayload::Start);
+            self.core.crash_marks.insert(seq, (c.rank, false));
+            if let Some(d) = c.rebirth {
+                let seq = self.core.queue.push(c.at + d, c.rank, EventPayload::Start);
+                self.core.crash_marks.insert(seq, (c.rank, true));
+            }
+        }
         for r in 0..self.core.nranks {
             let seq = self.core.queue.push(SimTime::ZERO, r, EventPayload::Start);
             if let Some(obs) = &mut self.core.obs {
@@ -549,8 +671,53 @@ impl<M> Engine<M> {
         }
         while let Some(ev) = self.core.queue.pop_entry() {
             let r = ev.dst;
+            // Crash/rebirth marks run ahead of every liveness/busy check:
+            // a crash is not deferred by a busy rank.
+            if let Some((rank, is_rebirth)) = self.core.crash_marks.remove(&ev.seq) {
+                let _ = self.core.queue.resolve(ev);
+                if is_rebirth {
+                    // The reborn incarnation starts idle: it serves new
+                    // traffic but nothing survives from before the crash.
+                    self.core.dead[rank] = false;
+                    self.core.busy_until[rank] = self.core.busy_until[rank].max(ev.time);
+                } else {
+                    self.core.dead[rank] = true;
+                    self.core.fault_stats.crashes += 1;
+                    if let Some(obs) = &mut self.core.obs {
+                        obs.instant(rank, ev.time, InstantKind::Crash, rank as u64);
+                    }
+                    // A pending barrier whose remaining entrants just died
+                    // must release now, or the survivors deadlock.
+                    let ids: Vec<u64> = self.core.barriers.keys().copied().collect();
+                    let required = self.core.required_ranks(ev.time);
+                    for id in ids {
+                        let st = &self.core.barriers[&id];
+                        if st.entered >= required {
+                            let max_entry = st.max_entry;
+                            self.core.barriers.remove(&id);
+                            self.core.push_barrier_done(id, max_entry, ev.time);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Events addressed to a dead rank are discarded, not dispatched.
+            if self.core.dead[r] {
+                let _ = self.core.queue.resolve(ev);
+                self.core.fault_stats.crash_events_dropped += 1;
+                continue;
+            }
             let busy = self.core.busy_until[r];
             if busy > ev.time {
+                // A deferral that would carry the event across the rank's
+                // own crash (into a later incarnation) kills it instead:
+                // run-to-completion ends at the handler boundary, and the
+                // next incarnation never sees its predecessor's backlog.
+                if self.core.crash_dooms(r, r, ev.time, busy) {
+                    let _ = self.core.queue.resolve(ev);
+                    self.core.fault_stats.crash_events_dropped += 1;
+                    continue;
+                }
                 // Rank still busy: defer until it frees up. Re-queuing (not
                 // executing late) keeps global execution monotone in
                 // virtual time, which the network model relies on. The
@@ -1356,5 +1523,157 @@ mod tests {
         let report = Engine::new(1, small_net()).run(&mut progs);
         assert_eq!(report.ranks[0].mem_peak, 1000);
         assert_eq!(report.max_mem_peak(), 1000);
+    }
+
+    #[test]
+    fn empty_crash_plan_is_bit_identical_to_none() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        let run = |with_plan: bool| {
+            let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+            let mut e = Engine::new(4, small_net());
+            if with_plan {
+                e = e.with_faults(FaultPlan::new(99).with_crashes(CrashPlan::none()));
+            }
+            e.run(&mut progs)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crashed_rank_stops_dispatching() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        // Rank 3 dies before the ping (sent at t=0, arriving ~1300 ns)
+        // lands: the ping fails on the wire, no pong ever comes back.
+        let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+        let plan = FaultPlan::new(1).with_crashes(CrashPlan::none().with_crash(3, 500, None));
+        let report = Engine::new(4, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        assert!(progs[0].got_pong_at.is_none());
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(report.faults.crash_events_dropped, 1, "the in-flight ping");
+        assert_eq!(report.events, 4, "only the starts ran");
+    }
+
+    #[test]
+    fn crash_at_time_zero_beats_on_start() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+        let plan = FaultPlan::new(1).with_crashes(CrashPlan::none().with_crash(0, 0, None));
+        let report = Engine::new(4, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        // Rank 0's Start is discarded: no ping is ever sent.
+        assert_eq!(report.events, 3, "three surviving starts");
+        assert_eq!(report.faults.crash_events_dropped, 1, "rank 0's start");
+        assert!(progs[0].got_pong_at.is_none());
+    }
+
+    #[test]
+    fn crash_kills_pending_self_timer() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        // The timer is armed at t=0 for t=7 us; the rank dies at 5 us.
+        let mut progs = vec![TimerProg { fired: None }];
+        let plan = FaultPlan::new(1).with_crashes(CrashPlan::none().with_crash(0, 5_000, None));
+        let report = Engine::new(1, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        assert_eq!(progs[0].fired, None);
+        assert_eq!(report.faults.crash_events_dropped, 1);
+    }
+
+    #[test]
+    fn rebirth_serves_new_traffic_but_not_stale_timers() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        // Rank 1 is dead [1 us, 3 us). Rank 0 sends one ping during the
+        // window (doomed) and one after rebirth (delivered).
+        struct LateSender {
+            got: u64,
+        }
+        impl Program<Msg> for LateSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                if ctx.rank() == 0 {
+                    ctx.after(SimTime::from_ns(1_500), Msg::Tick);
+                    ctx.after(SimTime::from_ns(10_000), Msg::Tick);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: usize, msg: Msg) {
+                match (ctx.rank(), msg) {
+                    (0, Msg::Tick) => ctx.send(1, 100, Msg::Ping),
+                    (1, Msg::Ping) => {
+                        assert_eq!(src, 0);
+                        self.got += 1;
+                    }
+                    _ => {}
+                }
+            }
+            fn on_barrier(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: u64) {}
+        }
+        let mut progs: Vec<LateSender> = (0..2).map(|_| LateSender { got: 0 }).collect();
+        let plan =
+            FaultPlan::new(1).with_crashes(CrashPlan::none().with_crash(1, 1_000, Some(2_000)));
+        let report = Engine::new(2, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        assert_eq!(progs[1].got, 1, "only the post-rebirth ping landed");
+        assert_eq!(report.faults.crashes, 1);
+        assert_eq!(report.faults.crash_events_dropped, 1, "the mid-window ping");
+    }
+
+    #[test]
+    fn barrier_releases_without_crashed_rank() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        let n = 4;
+        // Rank 3 would enter last (at 4000 ns) but dies at 100 ns, before
+        // even entering: the other three release without it.
+        let mut progs: Vec<BarrierProg> =
+            (0..n).map(|_| BarrierProg { released_at: None }).collect();
+        let plan = FaultPlan::new(1).with_crashes(CrashPlan::none().with_crash(3, 100, None));
+        let report = Engine::new(n, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        // Slowest survivor enters at 3000; barrier cost alpha*log2(4)=2000.
+        let expect = SimTime::from_ns(3000 + 2000);
+        for p in progs.iter().take(3) {
+            assert_eq!(p.released_at, Some(expect));
+        }
+        assert_eq!(progs[3].released_at, None);
+        assert_eq!(report.faults.crashes, 1);
+    }
+
+    #[test]
+    fn crash_of_last_straggler_releases_waiting_barrier() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        let n = 4;
+        // Everyone has entered except rank 3 (enters at 4000); rank 3 dies
+        // at 3500 while the others wait. The crash itself must release the
+        // barrier or the run deadlocks.
+        let mut progs: Vec<BarrierProg> =
+            (0..n).map(|_| BarrierProg { released_at: None }).collect();
+        let plan = FaultPlan::new(1).with_crashes(CrashPlan::none().with_crash(3, 3_500, None));
+        let _ = Engine::new(n, small_net())
+            .with_faults(plan)
+            .run(&mut progs);
+        // max_entry among survivors = 3000, release = 3000 + 2000 = 5000.
+        let expect = SimTime::from_ns(3000 + 2000);
+        for p in progs.iter().take(3) {
+            assert_eq!(p.released_at, Some(expect));
+        }
+        assert_eq!(progs[3].released_at, None);
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        use crate::fault::{CrashPlan, FaultPlan};
+        let run = || {
+            let mut progs: Vec<PingPong> = (0..4).map(|_| PingPong { got_pong_at: None }).collect();
+            let plan = FaultPlan::new(7)
+                .with_message_faults(0.2, 0.1, 0.1, 5_000)
+                .with_crashes(CrashPlan::seeded(7, 4, 2, 100, 10_000, Some(5_000)));
+            Engine::new(4, small_net())
+                .with_faults(plan)
+                .run(&mut progs)
+        };
+        assert_eq!(run(), run());
     }
 }

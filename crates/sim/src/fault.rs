@@ -168,6 +168,162 @@ pub struct RankStall {
     pub duration: SimTime,
 }
 
+/// A crash-stop failure: `rank` dies at virtual time `at`, taking its
+/// event queue, in-flight wire traffic, and un-checkpointed state with it.
+/// With `rebirth` set, the host returns at `at + rebirth` — the engine
+/// resumes delivering to it, but anything sent or armed in the previous
+/// incarnation is gone (crash-stop, not crash-recovery, at the wire level;
+/// state recovery is the checkpoint layer's job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankCrash {
+    /// The crashing rank.
+    pub rank: usize,
+    /// Crash instant (virtual time).
+    pub at: SimTime,
+    /// Time until the host returns; `None` means the rank stays dead.
+    pub rebirth: Option<SimTime>,
+}
+
+/// A deterministic crash-stop schedule: which ranks die, when, and whether
+/// their hosts return. Like every other fault in this module, a plan is
+/// either hand-built ([`CrashPlan::with_crash`]) or seed-hashed
+/// ([`CrashPlan::seeded`]) — never drawn from a live RNG — so a crashing
+/// run replays bit-identically. The empty plan is inert: an engine given a
+/// crash-free `CrashPlan` behaves byte-for-byte like one given none.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Scheduled crashes, at most one per rank.
+    pub crashes: Vec<RankCrash>,
+}
+
+impl CrashPlan {
+    /// The empty (crash-free) plan.
+    pub fn none() -> CrashPlan {
+        CrashPlan::default()
+    }
+
+    /// Adds one crash. Panics if `rank` already has one scheduled.
+    pub fn with_crash(mut self, rank: usize, at_ns: u64, rebirth_ns: Option<u64>) -> CrashPlan {
+        assert!(
+            self.crash_of(rank).is_none(),
+            "rank {rank} already has a scheduled crash"
+        );
+        self.crashes.push(RankCrash {
+            rank,
+            at: SimTime::from_ns(at_ns),
+            rebirth: rebirth_ns.map(SimTime::from_ns),
+        });
+        self
+    }
+
+    /// Seed-hashes a schedule of `count` crashes over `nranks` ranks:
+    /// distinct victims, crash times uniform in `[window_start_ns,
+    /// window_end_ns)`, each optionally reborn after `rebirth_ns`. At
+    /// least one rank always survives (`count` is capped at `nranks - 1`).
+    pub fn seeded(
+        seed: u64,
+        nranks: usize,
+        count: usize,
+        window_start_ns: u64,
+        window_end_ns: u64,
+        rebirth_ns: Option<u64>,
+    ) -> CrashPlan {
+        assert!(window_end_ns >= window_start_ns, "empty crash window");
+        let count = count.min(nranks.saturating_sub(1));
+        let mut plan = CrashPlan::default();
+        let span = (window_end_ns - window_start_ns).max(1);
+        let mut i = 0u64;
+        while plan.crashes.len() < count {
+            let h = mix(seed ^ mix(0xC4A5_4E5D ^ i));
+            i += 1;
+            let rank = (h % nranks as u64) as usize;
+            if plan.crash_of(rank).is_some() {
+                continue;
+            }
+            let at_ns = window_start_ns + mix(h ^ 0x7) % span;
+            plan.crashes.push(RankCrash {
+                rank,
+                at: SimTime::from_ns(at_ns),
+                rebirth: rebirth_ns.map(SimTime::from_ns),
+            });
+        }
+        // Sort by (time, rank) so iteration order is schedule order, not
+        // hash-probe order.
+        plan.crashes.sort_by_key(|c| (c.at, c.rank));
+        plan
+    }
+
+    /// True when no crashes are scheduled (the inert plan).
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// The crash scheduled for `rank`, if any.
+    pub fn crash_of(&self, rank: usize) -> Option<&RankCrash> {
+        self.crashes.iter().find(|c| c.rank == rank)
+    }
+
+    /// Whether `rank`'s host is down at `t` (inside the death window).
+    pub fn is_dead(&self, rank: usize, t: SimTime) -> bool {
+        match self.crash_of(rank) {
+            Some(c) => {
+                t >= c.at
+                    && match c.rebirth {
+                        Some(d) => t < c.at + d,
+                        None => true,
+                    }
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `rank` has crashed at or before `t` — true even after a
+    /// rebirth. Group-membership policy keys off this: a crashed rank is
+    /// permanently excluded from barriers and ownership, reborn or not.
+    pub fn crashed_by(&self, rank: usize, t: SimTime) -> bool {
+        matches!(self.crash_of(rank), Some(c) if t >= c.at)
+    }
+
+    /// Incarnation of `rank` at `t`: 0 until its crash, 1 from its rebirth.
+    /// Wire traffic and timers are only delivered within one incarnation.
+    pub fn incarnation(&self, rank: usize, t: SimTime) -> u32 {
+        match self.crash_of(rank) {
+            Some(c) => match c.rebirth {
+                Some(d) if t >= c.at + d => 1,
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Ranks that never crash before or at `t`, ascending — the barrier /
+    /// ownership membership at `t`.
+    pub fn survivors_at(&self, nranks: usize, t: SimTime) -> Vec<usize> {
+        (0..nranks).filter(|&r| !self.crashed_by(r, t)).collect()
+    }
+
+    /// Ranks that never crash at all, ascending — the stable membership a
+    /// deterministic takeover remap is computed against.
+    pub fn survivors(&self, nranks: usize) -> Vec<usize> {
+        (0..nranks)
+            .filter(|&r| self.crash_of(r).is_none())
+            .collect()
+    }
+
+    /// The designated successor of `dead`: the stable survivor that
+    /// restores the dead rank's checkpoint and adopts its shard. The rule
+    /// is a pure function of the plan (`survivors[dead % |survivors|]`),
+    /// so every rank computes the same successor with no coordination.
+    ///
+    /// # Panics
+    /// Panics if no rank survives the plan.
+    pub fn successor(&self, dead: usize, nranks: usize) -> usize {
+        let survivors = self.survivors(nranks);
+        assert!(!survivors.is_empty(), "takeover needs a surviving rank");
+        survivors[dead % survivors.len()]
+    }
+}
+
 /// A scheduled (non-probabilistic) message drop: the `nth` faultable
 /// message sent to `dst` is lost (counting from 1 in send order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -205,6 +361,11 @@ pub struct FaultStats {
     pub stall_time: SimTime,
     /// Total straggler-induced CPU inflation across ranks.
     pub straggler_excess: SimTime,
+    /// Crash-stop failures that fired.
+    pub crashes: u64,
+    /// Events silently discarded because their rank was dead, or their
+    /// wire traffic was in flight across a crash/rebirth boundary.
+    pub crash_events_dropped: u64,
 }
 
 /// A deterministic, seed-driven fault plan.
@@ -234,6 +395,8 @@ pub struct FaultPlan {
     pub stragglers: Vec<StragglerWindow>,
     /// Transient rank stalls.
     pub stalls: Vec<RankStall>,
+    /// Crash-stop failures (empty = none).
+    pub crash: CrashPlan,
 }
 
 impl FaultPlan {
@@ -293,6 +456,12 @@ impl FaultPlan {
     /// Adds a transient rank stall.
     pub fn with_stall(mut self, s: RankStall) -> FaultPlan {
         self.stalls.push(s);
+        self
+    }
+
+    /// Installs a crash-stop schedule.
+    pub fn with_crashes(mut self, crash: CrashPlan) -> FaultPlan {
+        self.crash = crash;
         self
     }
 
@@ -575,5 +744,95 @@ mod tests {
         let cfg = FaultConfig::default();
         assert!(!cfg.is_active());
         assert_eq!(cfg.plan(8), FaultPlan::new(cfg.seed));
+    }
+
+    #[test]
+    fn empty_crash_plan_is_inert() {
+        let p = CrashPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.is_dead(0, SimTime::from_ms(100)));
+        assert!(!p.crashed_by(0, SimTime::from_ms(100)));
+        assert_eq!(p.incarnation(0, SimTime::from_ms(100)), 0);
+        assert_eq!(p.survivors(4), vec![0, 1, 2, 3]);
+        assert_eq!(
+            CrashPlan::seeded(9, 8, 0, 0, 1_000_000, None),
+            CrashPlan::none(),
+            "zero-count seeded plan is byte-identical to no plan"
+        );
+    }
+
+    #[test]
+    fn crash_windows_and_incarnations() {
+        let p = CrashPlan::none().with_crash(1, 5_000_000, None).with_crash(
+            2,
+            3_000_000,
+            Some(4_000_000),
+        );
+        // Rank 1: dead forever from 5 ms.
+        assert!(!p.is_dead(1, SimTime::from_ms(4)));
+        assert!(p.is_dead(1, SimTime::from_ms(5)));
+        assert!(p.is_dead(1, SimTime::from_ms(500)));
+        assert_eq!(p.incarnation(1, SimTime::from_ms(500)), 0);
+        // Rank 2: dead in [3 ms, 7 ms), reborn after.
+        assert!(p.is_dead(2, SimTime::from_ms(3)));
+        assert!(p.is_dead(2, SimTime::from_ms(6)));
+        assert!(!p.is_dead(2, SimTime::from_ms(7)));
+        assert_eq!(p.incarnation(2, SimTime::from_ms(2)), 0);
+        assert_eq!(p.incarnation(2, SimTime::from_ms(7)), 1);
+        // crashed_by is permanent even across rebirth.
+        assert!(p.crashed_by(2, SimTime::from_ms(7)));
+        assert_eq!(p.survivors_at(4, SimTime::from_ms(4)), vec![0, 1, 3]);
+        assert_eq!(p.survivors_at(4, SimTime::from_ms(10)), vec![0, 3]);
+        assert_eq!(p.survivors(4), vec![0, 3]);
+    }
+
+    #[test]
+    fn seeded_crash_plan_is_deterministic_and_distinct() {
+        let a = CrashPlan::seeded(17, 8, 3, 1_000_000, 9_000_000, None);
+        let b = CrashPlan::seeded(17, 8, 3, 1_000_000, 9_000_000, None);
+        assert_eq!(a, b);
+        assert_eq!(a.crashes.len(), 3);
+        let mut ranks: Vec<usize> = a.crashes.iter().map(|c| c.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), 3, "victims are distinct");
+        for c in &a.crashes {
+            assert!(c.at.as_ns() >= 1_000_000 && c.at.as_ns() < 9_000_000);
+        }
+        let other = CrashPlan::seeded(18, 8, 3, 1_000_000, 9_000_000, None);
+        assert_ne!(a, other, "seed changes the schedule");
+        // Schedule order is (time, rank), not probe order.
+        for w in a.crashes.windows(2) {
+            assert!((w[0].at, w[0].rank) <= (w[1].at, w[1].rank));
+        }
+    }
+
+    #[test]
+    fn seeded_crash_plan_always_leaves_a_survivor() {
+        let p = CrashPlan::seeded(3, 4, 99, 0, 1_000, None);
+        assert_eq!(p.crashes.len(), 3, "count capped at nranks - 1");
+        assert_eq!(p.survivors(4).len(), 1);
+    }
+
+    #[test]
+    fn successor_is_deterministic_and_survives() {
+        let p = CrashPlan::none()
+            .with_crash(1, 1_000, None)
+            .with_crash(3, 2_000, Some(500));
+        // Survivors of 6 ranks: 0, 2, 4, 5.
+        assert_eq!(p.successor(1, 6), 2);
+        assert_eq!(p.successor(3, 6), 5);
+        for c in &p.crashes {
+            let s = p.successor(c.rank, 6);
+            assert!(p.crash_of(s).is_none(), "successor never crashes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a scheduled crash")]
+    fn duplicate_crash_rejected() {
+        let _ = CrashPlan::none()
+            .with_crash(0, 1, None)
+            .with_crash(0, 2, None);
     }
 }

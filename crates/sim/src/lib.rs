@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod coll;
 pub mod cpath;
 pub mod engine;
@@ -50,12 +51,13 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use ckpt::{Checkpointable, CkptParams, CkptReader, CkptRecord, CkptStore, CkptWriter};
 pub use coll::{alltoallv_time, CollParams, ExchangeLoad};
 pub use cpath::{critical_path, CpCategory, CriticalPath};
 pub use engine::{Ctx, Engine, Program, TimeCategory};
 pub use event::{Event, EventPayload, TieBreak};
 pub use export::chrome_trace_json;
-pub use fault::{backoff_delay, FaultConfig, FaultPlan, FaultStats};
+pub use fault::{backoff_delay, CrashPlan, FaultConfig, FaultPlan, FaultStats, RankCrash};
 pub use mem::MemTracker;
 pub use net::{NetParams, Network};
 pub use obs::{EdgeKind, InstantKind, MetricId, Obs, ObsConfig};

@@ -94,6 +94,12 @@ pub enum InstantKind {
     GiveUp = 4,
     /// The legacy owner-side injector dropped a reply.
     InjectedDrop = 5,
+    /// A rank's crash-stop failure fired (key = the crashed rank).
+    Crash = 6,
+    /// A survivor took over a dead rank's key range (key = dead rank).
+    Takeover = 7,
+    /// State was restored from a checkpoint (key = the restored rank).
+    Restore = 8,
 }
 
 impl InstantKind {
@@ -106,6 +112,9 @@ impl InstantKind {
             InstantKind::DupReply => "dup_reply",
             InstantKind::GiveUp => "give_up",
             InstantKind::InjectedDrop => "inj_drop",
+            InstantKind::Crash => "crash",
+            InstantKind::Takeover => "takeover",
+            InstantKind::Restore => "restore",
         }
     }
 
@@ -118,6 +127,9 @@ impl InstantKind {
             "dup_reply" => InstantKind::DupReply,
             "give_up" => InstantKind::GiveUp,
             "inj_drop" => InstantKind::InjectedDrop,
+            "crash" => InstantKind::Crash,
+            "takeover" => InstantKind::Takeover,
+            "restore" => InstantKind::Restore,
             _ => return None,
         })
     }
@@ -958,6 +970,9 @@ mod tests {
             InstantKind::DupReply,
             InstantKind::GiveUp,
             InstantKind::InjectedDrop,
+            InstantKind::Crash,
+            InstantKind::Takeover,
+            InstantKind::Restore,
         ] {
             assert_eq!(InstantKind::from_name(k.name()), Some(k));
         }

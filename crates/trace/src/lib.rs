@@ -87,10 +87,43 @@ pub fn summarize(obs: &Obs) -> String {
             InstantKind::DupReply,
             InstantKind::GiveUp,
             InstantKind::InjectedDrop,
+            InstantKind::Crash,
+            InstantKind::Takeover,
+            InstantKind::Restore,
         ] {
             let n = obs.instants.iter().filter(|i| i.kind == kind).count();
             if n > 0 {
                 let _ = writeln!(out, "  {:<10} {:>10}", kind.name(), n);
+            }
+        }
+        // Crash-recovery narrative, per rank. Emitted only when a crash
+        // schedule actually fired, so crash-free recordings summarize
+        // byte-identically to pre-crash builds.
+        let crash_kinds = [
+            InstantKind::Crash,
+            InstantKind::Takeover,
+            InstantKind::Restore,
+        ];
+        if obs.instants.iter().any(|i| crash_kinds.contains(&i.kind)) {
+            let _ = writeln!(out, "crash recovery by rank:");
+            for rank in 0..obs.nranks {
+                let count = |kind: InstantKind| {
+                    obs.instants
+                        .iter()
+                        .filter(|i| i.kind == kind && i.rank == rank as u32)
+                        .count()
+                };
+                let (c, t, r) = (
+                    count(InstantKind::Crash),
+                    count(InstantKind::Takeover),
+                    count(InstantKind::Restore),
+                );
+                if c + t + r > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  r{rank:<4} {c:>6} crashes {t:>6} takeovers {r:>6} restores"
+                    );
+                }
             }
         }
     }

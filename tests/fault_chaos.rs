@@ -5,12 +5,12 @@
 //! budgets too small for the loss rate), the run must end with a
 //! structured error rather than hang or silently drop tasks.
 
-use gnb::core::driver::{run_sim, try_run_sim, Algorithm, RunConfig, RunError};
+use gnb::core::driver::{run_sim, try_run_sim, Algorithm, CrashResponse, RunConfig, RunError};
 use gnb::core::workload::SimWorkload;
 use gnb::core::MachineConfig;
 use gnb::genome::presets;
 use gnb::overlap::synth::{synthesize, SynthParams};
-use gnb::sim::FaultConfig;
+use gnb::sim::{CkptParams, CrashPlan, FaultConfig};
 use proptest::prelude::*;
 
 fn workload(scale: usize, seed: u64, nranks: usize) -> SimWorkload {
@@ -132,6 +132,53 @@ fn faulty_runs_replay_identically() {
         assert_eq!(a.task_checksum, b.task_checksum, "{algo}");
         assert_eq!(a.recovery, b.recovery, "{algo}");
     }
+}
+
+/// A give-up in the aggregated code must tolerate keys its batching layer
+/// never minted. A successor's adopted re-fetches are plain (non-batch)
+/// tracked requests namespaced above `TAKEOVER_KEY_BASE`; under heavy
+/// transient loss with a shallow retry budget, some of them exhaust and
+/// give up alongside ordinary batch keys. An `on_give_up` that assumes
+/// every key has a batch entry panics on the first such key (this
+/// configuration hits the non-batch arm hundreds of times); the correct
+/// behaviour is the structured retry-budget error.
+#[test]
+fn aggregated_give_up_tolerates_non_batch_keys() {
+    let machine = MachineConfig::cori_knl(1).with_cores_per_node(8);
+    let w = workload(512, 9, machine.nranks());
+    let cfg = RunConfig {
+        crash: CrashPlan::none().with_crash(2, 100_000_000, None),
+        crash_response: CrashResponse::Takeover,
+        crash_detect_ns: 20_000_000,
+        ckpt: CkptParams {
+            interval_ns: 200_000_000,
+            ..CkptParams::default()
+        },
+        rpc_max_retries: 2,
+        fault: FaultConfig {
+            seed: 0,
+            drop_prob: 0.5,
+            ..FaultConfig::default()
+        },
+        ..RunConfig::default()
+    };
+    match try_run_sim(&w, &machine, Algorithm::AggAsync, &cfg) {
+        Err(RunError::RetryBudgetExhausted { algorithm, .. }) => {
+            assert_eq!(algorithm, Algorithm::AggAsync);
+        }
+        other => panic!("expected a structured retry-budget error, got {other:?}"),
+    }
+    // Same shape with a budget deep enough to recover: the adopted
+    // re-fetches all eventually land and the run completes every task.
+    let deep = RunConfig {
+        rpc_max_retries: 24,
+        ..cfg
+    };
+    let clean = run_sim(&w, &machine, Algorithm::AggAsync, &RunConfig::default());
+    let r = try_run_sim(&w, &machine, Algorithm::AggAsync, &deep)
+        .expect("recoverable plan must complete");
+    assert_eq!(r.tasks_done as usize, w.total_tasks);
+    assert_eq!(r.task_checksum, clean.task_checksum);
 }
 
 /// Flush timers ride the never-faulted self-timer path: with a batch

@@ -31,8 +31,14 @@ fn assert_invariant(
     algo: Algorithm,
     cfg: &RunConfig,
 ) -> Result<(), TestCaseError> {
-    let off = RunConfig { obs: false, ..*cfg };
-    let on = RunConfig { obs: true, ..*cfg };
+    let off = RunConfig {
+        obs: false,
+        ..cfg.clone()
+    };
+    let on = RunConfig {
+        obs: true,
+        ..cfg.clone()
+    };
     // Recoverability is a property of the fault plan, not the observer:
     // both runs must agree on whether they complete at all.
     match (
