@@ -2,12 +2,21 @@
 //!
 //! ```text
 //! gnb-lint [--root <dir>] [--format human|json] [--deny-all] [--list-rules]
+//!          [--baseline <file>] [--write-baseline <file>]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` deny-level findings, `2` usage or I/O error.
-//! See the README ("Determinism lint") for the JSON schema and the
-//! annotation syntax.
+//! Exit codes: `0` clean, `1` deny-level findings (or a baseline ratchet
+//! violation), `2` usage or I/O error. See the README ("Determinism lint")
+//! and the `gnb_analyze::report` module docs for the JSON schema, the
+//! stable-ID scheme and the annotation syntax.
+//!
+//! With `--baseline`, the exit code reflects the **ratchet** instead of
+//! the raw finding count: findings whose IDs are all in the baseline are
+//! accepted debt, a finding missing from the baseline is new (exit 1), and
+//! a baseline entry that no longer fires is stale (exit 1 — shrink the
+//! baseline with `--write-baseline` so the ratchet only tightens).
 
+use gnb_analyze::report::Baseline;
 use gnb_analyze::rules::AUDIT_RULES;
 use gnb_analyze::walk::scan_workspace;
 use std::path::{Path, PathBuf};
@@ -18,20 +27,27 @@ struct Opts {
     json: bool,
     deny_all: bool,
     list_rules: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "gnb-lint: static determinism auditor for the gnb workspace\n\
      \n\
      USAGE: gnb-lint [--root <dir>] [--format human|json] [--deny-all] [--list-rules]\n\
+     \x20              [--baseline <file>] [--write-baseline <file>]\n\
      \n\
-     --root <dir>    workspace root to scan (default: nearest ancestor with a\n\
-     \x20               [workspace] Cargo.toml, else the current directory)\n\
-     --format <fmt>  report format: human (default) or json\n\
-     --deny-all      treat warn-level findings (float-fold-order) as deny\n\
-     --list-rules    print the determinism contract and exit\n\
+     --root <dir>            workspace root to scan (default: nearest ancestor with a\n\
+     \x20                       [workspace] Cargo.toml, else the current directory)\n\
+     --format <fmt>          report format: human (default) or json\n\
+     --deny-all              treat warn-level findings (float-fold-order outside the\n\
+     \x20                       determinism core) as deny\n\
+     --baseline <file>       ratchet: exit 1 on findings not in <file> and on stale\n\
+     \x20                       entries (fixed findings must shrink the baseline)\n\
+     --write-baseline <file> write the current findings as the new baseline and exit 0\n\
+     --list-rules            print the determinism contract and exit\n\
      \n\
-     EXIT CODES: 0 clean, 1 deny-level findings, 2 usage/I-O error\n"
+     EXIT CODES: 0 clean, 1 deny-level findings / ratchet violation, 2 usage/I-O error\n"
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -40,6 +56,8 @@ fn parse_opts() -> Result<Opts, String> {
         json: false,
         deny_all: false,
         list_rules: false,
+        baseline: None,
+        write_baseline: None,
     };
     // The auditor's own CLI necessarily reads the process arguments.
     // gnb-lint: allow(ambient-env, reason = "CLI argument parsing is this binary's input")
@@ -59,6 +77,16 @@ fn parse_opts() -> Result<Opts, String> {
                     "human" => false,
                     other => return Err(format!("unknown format `{other}`")),
                 };
+                i += 2;
+            }
+            "--baseline" => {
+                let v = args.get(i + 1).ok_or("--baseline needs a value")?;
+                opts.baseline = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--write-baseline" => {
+                let v = args.get(i + 1).ok_or("--write-baseline needs a value")?;
+                opts.write_baseline = Some(PathBuf::from(v));
                 i += 2;
             }
             "--deny-all" => {
@@ -142,6 +170,56 @@ fn main() -> ExitCode {
         print!("{}", report.render_json());
     } else {
         print!("{}", report.render_human());
+    }
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, report.render_baseline()) {
+            eprintln!("gnb-lint: cannot write baseline `{}`: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "gnb-lint: wrote baseline `{}` ({} finding(s))",
+            path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gnb-lint: cannot read baseline `{}`: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("gnb-lint: bad baseline `{}`: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let (new, stale) = baseline.diff(&report);
+        for f in &new {
+            eprintln!(
+                "gnb-lint: NEW finding (not in baseline): {} {}:{}:{} {}",
+                f.id,
+                f.path,
+                f.line,
+                f.col,
+                f.rule.name()
+            );
+        }
+        for id in &stale {
+            eprintln!(
+                "gnb-lint: stale baseline entry {id} — the finding was fixed; \
+                 shrink the baseline with --write-baseline"
+            );
+        }
+        return if new.is_empty() && stale.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
     if report.deny_count() > 0 {
         ExitCode::from(1)

@@ -1,0 +1,427 @@
+//! The workspace symbol index: a flattened view of every parsed file's
+//! functions, impls, enums and consts, plus a conservative name-resolved
+//! call graph with BFS reachability.
+//!
+//! Resolution is purely by name (optionally qualified by the impl type),
+//! which is the right trade for an auditor with no type information: a
+//! false edge makes the panic-path audit *more* conservative, never less.
+//! The one place name resolution would explode — ubiquitous std method
+//! names like `new`, `len`, `push` — is handled by [`SKIP_RESOLVE`]: those
+//! names never create edges, because a call to `Vec::push` must not drag
+//! every `push` method in the workspace onto the recovery path.
+
+use crate::parser::{Ast, BodyFacts, ImplBlock};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method/function names too common to resolve by name: edges through
+/// them are dropped. Workspace functions deliberately avoid these names
+/// for anything protocol-relevant.
+pub const SKIP_RESOLVE: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "min",
+    "max",
+    "cmp",
+    "eq",
+    "ne",
+    "hash",
+    "fmt",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "take",
+    "replace",
+    "extend",
+    "clear",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "binary_search",
+    "entry",
+    "or_insert",
+    "or_default",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "and_then",
+    "or_else",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "split",
+    "trim",
+    "parse",
+    "write",
+    "read",
+    "flush",
+    "drain",
+    "retain",
+    "count",
+    "sum_by",
+    "abs",
+    "floor",
+    "ceil",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "min_by",
+    "max_by",
+    "rev",
+    "enumerate",
+    "zip",
+    "chain",
+    "flat_map",
+    "flatten",
+    "any",
+    "all",
+    "find",
+    "position",
+    "first",
+    "last",
+    "keys",
+    "values",
+    "values_mut",
+    "range",
+    "starts_with",
+    "ends_with",
+    "send",
+    "recv",
+];
+
+/// One function in the index.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Repo-relative path of the defining file.
+    pub path: String,
+    /// The impl/trait self type this fn belongs to (`None` for free fns).
+    pub owner: Option<String>,
+    /// The trait being implemented, if the owning block is
+    /// `impl Trait for Ty`.
+    pub trait_name: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Whether the fn is test-only (`#[cfg(test)]` module or `#[test]`).
+    pub cfg_test: bool,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// 1-based column of the name.
+    pub col: u32,
+    /// Body facts (`None` for bodyless trait declarations).
+    pub facts: Option<BodyFacts>,
+}
+
+/// One impl block (or trait definition) in the index.
+#[derive(Debug, Clone)]
+pub struct ImplInfo {
+    /// Repo-relative path of the defining file.
+    pub path: String,
+    /// Self type (or trait name for trait definitions).
+    pub self_ty: String,
+    /// Implemented trait, if any.
+    pub trait_name: Option<String>,
+    /// Whether this is a trait definition.
+    pub is_trait_def: bool,
+    /// `type Name = Value;` bindings.
+    pub assoc_types: Vec<(String, String)>,
+    /// Indices into [`SymbolIndex::fns`] for this block's methods.
+    pub fn_ids: Vec<usize>,
+    /// Whether the block is test-only.
+    pub cfg_test: bool,
+    /// 1-based line of the block head.
+    pub line: u32,
+}
+
+/// One evaluated constant in the index.
+#[derive(Debug, Clone)]
+pub struct ConstInfo {
+    /// Repo-relative path of the defining file.
+    pub path: String,
+    /// Constant name.
+    pub name: String,
+    /// Folded integer value, when the initializer was a literal expression.
+    pub value: Option<u128>,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// 1-based column of the name.
+    pub col: u32,
+}
+
+/// The workspace symbol index.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolIndex {
+    /// Every function, flattened.
+    pub fns: Vec<FnInfo>,
+    /// Every impl block / trait definition.
+    pub impls: Vec<ImplInfo>,
+    /// Enum name → variant names (first definition wins on collision).
+    pub enums: BTreeMap<String, Vec<String>>,
+    /// Every `const` / `static` item.
+    pub consts: Vec<ConstInfo>,
+    /// fn name → fn ids (non-test only), for call resolution.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index from parsed files: `(repo-relative path, ast)`.
+    pub fn build(files: &[(String, Ast)]) -> SymbolIndex {
+        let mut ix = SymbolIndex::default();
+        for (path, ast) in files {
+            // Impl blocks with their methods (also covers trait defs).
+            collect(&ast.items, path, &mut ix, false);
+        }
+        for (id, f) in ix.fns.iter().enumerate() {
+            if !f.cfg_test {
+                ix.by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        return ix;
+
+        fn collect(items: &[crate::parser::Item], path: &str, ix: &mut SymbolIndex, in_test: bool) {
+            use crate::parser::Item;
+            for it in items {
+                match it {
+                    Item::Fn(f) => ix.fns.push(fn_info(path, None, f, in_test)),
+                    Item::Impl(b) => {
+                        let mut fn_ids = Vec::new();
+                        for f in &b.fns {
+                            fn_ids.push(ix.fns.len());
+                            ix.fns.push(fn_info(path, Some(b), f, in_test));
+                        }
+                        ix.impls.push(ImplInfo {
+                            path: path.to_string(),
+                            self_ty: b.self_ty.clone(),
+                            trait_name: b.trait_name.clone(),
+                            is_trait_def: b.is_trait_def,
+                            assoc_types: b.assoc_types.clone(),
+                            fn_ids,
+                            cfg_test: b.cfg_test || in_test,
+                            line: b.line,
+                        });
+                    }
+                    Item::Enum(e) => {
+                        ix.enums
+                            .entry(e.name.clone())
+                            .or_insert_with(|| e.variants.clone());
+                    }
+                    Item::Const(c) => ix.consts.push(ConstInfo {
+                        path: path.to_string(),
+                        name: c.name.clone(),
+                        value: c.value,
+                        line: c.line,
+                        col: c.col,
+                    }),
+                    Item::Mod(m) => collect(&m.items, path, ix, in_test || m.cfg_test),
+                }
+            }
+        }
+
+        fn fn_info(
+            path: &str,
+            block: Option<&ImplBlock>,
+            f: &crate::parser::FnItem,
+            in_test: bool,
+        ) -> FnInfo {
+            FnInfo {
+                path: path.to_string(),
+                owner: block.map(|b| b.self_ty.clone()),
+                trait_name: block.and_then(|b| b.trait_name.clone()),
+                name: f.name.clone(),
+                cfg_test: f.cfg_test || in_test || block.map(|b| b.cfg_test).unwrap_or(false),
+                line: f.line,
+                col: f.col,
+                facts: f.facts.clone(),
+            }
+        }
+    }
+
+    /// Resolves one call site to candidate fn ids by name (qualifier
+    /// narrows to impls of that type when it matches any). Names in
+    /// [`SKIP_RESOLVE`] resolve to nothing.
+    pub fn resolve(&self, name: &str, qualifier: Option<&str>) -> Vec<usize> {
+        if SKIP_RESOLVE.contains(&name) {
+            return Vec::new();
+        }
+        let cands = match self.by_name.get(name) {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        if let Some(q) = qualifier {
+            let narrowed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let owner = self.fns[id].owner.as_deref();
+                    owner == Some(q) || q == "Self"
+                })
+                .collect();
+            if !narrowed.is_empty() {
+                return narrowed;
+            }
+        }
+        cands.clone()
+    }
+
+    /// BFS over the call graph from `roots` (fn ids), restricted to
+    /// functions whose defining file satisfies `in_scope`. Returns
+    /// reached-fn id → predecessor fn id (roots map to themselves).
+    pub fn reachable(
+        &self,
+        roots: &[usize],
+        in_scope: impl Fn(&str) -> bool,
+    ) -> BTreeMap<usize, usize> {
+        let mut pred: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if pred.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            let f = &self.fns[id];
+            let facts = match &f.facts {
+                Some(facts) => facts,
+                None => continue,
+            };
+            let mut targets: BTreeSet<usize> = BTreeSet::new();
+            for call in &facts.calls {
+                for t in self.resolve(&call.name, call.qualifier.as_deref()) {
+                    targets.insert(t);
+                }
+            }
+            for t in targets {
+                let tf = &self.fns[t];
+                if tf.cfg_test || !in_scope(&tf.path) {
+                    continue;
+                }
+                if pred.insert(t, id).is_none() {
+                    queue.push_back(t);
+                }
+            }
+        }
+        pred
+    }
+
+    /// A short `root → … → fn` chain for a reached fn, for messages.
+    pub fn chain(&self, pred: &BTreeMap<usize, usize>, mut id: usize) -> String {
+        let mut names = vec![self.qualified(id)];
+        let mut hops = 0;
+        while let Some(&p) = pred.get(&id) {
+            if p == id || hops > 6 {
+                break;
+            }
+            names.push(self.qualified(p));
+            id = p;
+            hops += 1;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+
+    /// `Owner::name` or `name` for a fn id.
+    pub fn qualified(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        match &f.owner {
+            Some(o) => format!("{}::{}", o, f.name),
+            None => f.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn build(srcs: &[(&str, &str)]) -> SymbolIndex {
+        let files: Vec<(String, Ast)> = srcs
+            .iter()
+            .map(|(p, s)| (p.to_string(), parse(&lex(s))))
+            .collect();
+        SymbolIndex::build(&files)
+    }
+
+    #[test]
+    fn resolves_by_name_and_qualifier() {
+        let ix = build(&[(
+            "crates/core/src/a.rs",
+            "impl Svc { fn route(&self) {} }\n\
+             impl Other { fn route(&self) {} }\n\
+             fn free() { Svc::route(); }",
+        )]);
+        assert_eq!(ix.resolve("route", Some("Svc")).len(), 1);
+        assert_eq!(ix.resolve("route", None).len(), 2);
+        assert!(ix.resolve("push", None).is_empty()); // SKIP_RESOLVE
+    }
+
+    #[test]
+    fn reachability_walks_calls_and_skips_tests() {
+        let ix = build(&[(
+            "crates/core/src/a.rs",
+            "fn root() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() { data.unwrap(); }\n\
+             fn island() {}\n\
+             #[cfg(test)]\n\
+             mod tests { fn mid() {} }",
+        )]);
+        let root = ix.fns.iter().position(|f| f.name == "root").unwrap();
+        let reached = ix.reachable(&[root], |_| true);
+        let names: Vec<&str> = reached.keys().map(|&id| ix.fns[id].name.as_str()).collect();
+        assert!(names.contains(&"root"));
+        assert!(names.contains(&"mid"));
+        assert!(names.contains(&"leaf"));
+        assert!(!names.contains(&"island"));
+        // The test-mod `mid` is never a resolution target.
+        assert!(reached.keys().all(|&id| !ix.fns[id].cfg_test));
+        let leaf = ix.fns.iter().position(|f| f.name == "leaf").unwrap();
+        assert_eq!(ix.chain(&reached, leaf), "root -> mid -> leaf");
+    }
+
+    #[test]
+    fn scope_filter_stops_traversal() {
+        let ix = build(&[
+            ("crates/core/src/a.rs", "fn root() { outside(); }"),
+            ("crates/align/src/b.rs", "fn outside() { deeper(); }"),
+        ]);
+        let root = ix.fns.iter().position(|f| f.name == "root").unwrap();
+        let reached = ix.reachable(&[root], |p| p.starts_with("crates/core/"));
+        assert_eq!(reached.len(), 1); // root only
+    }
+}

@@ -299,6 +299,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn number(&mut self, line: u32, col: u32) {
+        // Numeric literals keep their text (unlike strings/chars) so the
+        // parser's const-expression evaluator can check key-namespace
+        // constants like `1 << 40`.
+        let start = self.pos;
         let mut is_float = false;
         // Hex/octal/binary prefix: consume and stay integer.
         if self.peek() == Some('0') && matches!(self.peek_at(1), Some('x') | Some('o') | Some('b'))
@@ -308,7 +312,8 @@ impl<'a> Lexer<'a> {
             while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
                 self.bump();
             }
-            self.push(TokKind::Int, String::new(), line, col);
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokKind::Int, text, line, col);
             return;
         }
         while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '_') {
@@ -358,13 +363,14 @@ impl<'a> Lexer<'a> {
         if suffix == "f32" || suffix == "f64" {
             is_float = true;
         }
+        let text: String = self.chars[start..self.pos].iter().collect();
         self.push(
             if is_float {
                 TokKind::Float
             } else {
                 TokKind::Int
             },
-            String::new(),
+            text,
             line,
             col,
         );
@@ -478,6 +484,17 @@ mod tests {
         let kinds: Vec<TokKind> = lex("1.max(2)").tokens.into_iter().map(|t| t.kind).collect();
         assert_eq!(kinds[0], TokKind::Int);
         assert_eq!(kinds[1], TokKind::Punct('.'));
+    }
+
+    #[test]
+    fn numeric_literal_text_is_kept() {
+        let texts: Vec<String> = lex("1 << 40; 0x1F 1_000u64 2.5f64")
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, vec!["1", "40", "0x1F", "1_000u64", "2.5f64"]);
     }
 
     #[test]

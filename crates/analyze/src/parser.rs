@@ -1,0 +1,1257 @@
+//! A dependency-free recursive-descent parser over the [`lexer`] token
+//! stream — just enough syntax to drive semantic passes, in the same
+//! hand-rolled spirit as the lexer (no `syn`: the build environment has no
+//! crates.io route, and the auditor must not depend on what it audits).
+//!
+//! The parser recognises the item skeleton of a file (functions, `impl`
+//! blocks, trait definitions, enums, consts, inline modules) and, inside
+//! every function body, extracts [`BodyFacts`]: call sites, macro
+//! invocations, `Enum::Variant` path pairs, index-expression sites, match
+//! expressions with their arm patterns, and the message variants armed via
+//! `after` / `after_app` / `send_with_timer`. It is deliberately forgiving:
+//! anything it does not understand is skipped, never a parse error, because
+//! an auditor that dies on one odd file audits nothing. The cost of that
+//! forgiveness is borne by the passes, which are written to only act on
+//! facts the parser is confident about.
+//!
+//! [`lexer`]: crate::lexer
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// A parsed source file: its item tree.
+#[derive(Debug, Clone, Default)]
+pub struct Ast {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item. Items the passes do not care about (structs, uses, type
+/// aliases…) are dropped during parsing.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A free function.
+    Fn(FnItem),
+    /// An `impl` block or a trait definition (trait default methods look
+    /// exactly like impl methods to the passes).
+    Impl(ImplBlock),
+    /// An enum definition with its variant names.
+    Enum(EnumDef),
+    /// A `const` / `static` with an optionally evaluated integer value.
+    Const(ConstDef),
+    /// An inline `mod name { … }`.
+    Mod(ModDef),
+}
+
+/// An inline module.
+#[derive(Debug, Clone)]
+pub struct ModDef {
+    /// Module name.
+    pub name: String,
+    /// Whether the module (or an enclosing one) is `#[cfg(test)]`.
+    pub cfg_test: bool,
+    /// Items inside the module.
+    pub items: Vec<Item>,
+}
+
+/// An `impl` block (`impl Ty`, `impl Trait for Ty`) or trait definition.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// The implementing type (last path segment), or the trait name for a
+    /// trait definition.
+    pub self_ty: String,
+    /// The implemented trait's last path segment (`impl Trait for Ty`).
+    pub trait_name: Option<String>,
+    /// Whether this is a `trait … { }` definition rather than an impl.
+    pub is_trait_def: bool,
+    /// Associated `type Name = Value;` bindings (first ident of the value).
+    pub assoc_types: Vec<(String, String)>,
+    /// Methods (and trait default methods) with bodies or signatures.
+    pub fns: Vec<FnItem>,
+    /// Whether the block (or an enclosing module) is `#[cfg(test)]`.
+    pub cfg_test: bool,
+    /// 1-based line of the `impl` / `trait` keyword.
+    pub line: u32,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names in source order.
+    pub variants: Vec<String>,
+    /// Whether the enum sits in a `#[cfg(test)]` module.
+    pub cfg_test: bool,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+}
+
+/// A `const` or `static` item.
+#[derive(Debug, Clone)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// The value if the initializer is a literal integer expression the
+    /// evaluator understands (`1 << 40`, `0x100`, `(1 << 32) + 7`…);
+    /// `None` for anything it cannot fold.
+    pub value: Option<u128>,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// 1-based column of the name.
+    pub col: u32,
+}
+
+/// A function: free, impl method, or trait default method.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Whether the function (or an enclosing module) is `#[cfg(test)]`
+    /// or carries `#[test]`.
+    pub cfg_test: bool,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// 1-based column of the name.
+    pub col: u32,
+    /// Facts extracted from the body (`None` for bodyless trait methods).
+    pub facts: Option<BodyFacts>,
+}
+
+/// Everything a pass needs to know about one function body.
+#[derive(Debug, Clone, Default)]
+pub struct BodyFacts {
+    /// Number of tokens in the body (between the braces).
+    pub tokens: usize,
+    /// Call sites: `name(…)`, `recv.name(…)`, `Qual::name(…)`.
+    pub calls: Vec<CallSite>,
+    /// Macro invocations `name!(…)`.
+    pub macros: Vec<Site>,
+    /// All `Upper::Upper` path pairs (enum-variant references, in patterns
+    /// and expressions alike).
+    pub paths: Vec<PathPair>,
+    /// `Upper::Upper` pairs appearing inside the argument list of an
+    /// `after(…)` / `after_app(…)` / `send_with_timer(…)` call — the
+    /// message variants this body arms a timer with.
+    pub armed: Vec<PathPair>,
+    /// Index-expression sites `expr[…]`, deduplicated per line.
+    pub indexes: Vec<Site>,
+    /// Match expressions with their arm-pattern facts.
+    pub matches: Vec<MatchFacts>,
+}
+
+/// One call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the ident directly before the `(`).
+    pub name: String,
+    /// `Qual::name(…)`'s qualifier, if any.
+    pub qualifier: Option<String>,
+    /// Whether this is a method call (`recv.name(…)`).
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A named site (macro invocation, index expression).
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Macro name, or `"index"` for index sites.
+    pub name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// An `Enum::Variant` path pair (both segments start uppercase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPair {
+    /// Type (enum) segment.
+    pub ty: String,
+    /// Variant segment.
+    pub variant: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Facts about one `match` expression's arms.
+#[derive(Debug, Clone, Default)]
+pub struct MatchFacts {
+    /// 1-based line of the `match` keyword.
+    pub line: u32,
+    /// `Enum::Variant` pairs referenced by arm patterns.
+    pub arm_pairs: Vec<PathPair>,
+    /// Catch-all arms: a bare `_` or a lone lowercase binding pattern.
+    pub wildcards: Vec<Site>,
+}
+
+/// Parses a lexed file into its item tree.
+pub fn parse(lexed: &Lexed) -> Ast {
+    let toks = &lexed.tokens;
+    let mut p = Parser { toks };
+    let (items, _) = p.items(0, toks.len(), false);
+    Ast { items }
+}
+
+/// Keywords that may directly precede a `[` without making it an index
+/// expression (`return [0; 4]`, `match x[0]` is index but `match [a, b]`
+/// is not…).
+const NON_INDEX_PREV: &[&str] = &[
+    "return", "break", "continue", "in", "if", "else", "match", "loop", "while", "for", "move",
+    "ref", "mut", "as", "let", "where", "impl", "fn", "const", "static", "type", "enum", "struct",
+    "trait", "mod", "pub", "use", "unsafe", "dyn", "box", "await", "yield",
+];
+
+/// Calls whose argument lists arm a deferred message (timer) — the pairs
+/// inside become [`BodyFacts::armed`].
+const ARMING_CALLS: &[&str] = &["after", "after_app", "send_with_timer"];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+}
+
+impl<'a> Parser<'a> {
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i) {
+            Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, i: usize) -> Option<char> {
+        match self.toks.get(i) {
+            Some(Token {
+                kind: TokKind::Punct(c),
+                ..
+            }) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Skips a balanced `< … >` group starting at `i` (which must be `<`).
+    /// `->` inside (closure bounds like `Fn() -> T`) is handled; `>>`
+    /// closes two levels naturally since puncts are single characters.
+    fn skip_angles(&self, mut i: usize, end: usize) -> usize {
+        debug_assert_eq!(self.punct_at(i), Some('<'));
+        let mut depth = 0i32;
+        while i < end {
+            match self.punct_at(i) {
+                Some('<') => depth += 1,
+                // `->` is an arrow, not a close.
+                Some('>') if self.punct_at(i.wrapping_sub(1)) != Some('-') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips a balanced delimiter group starting at `i` (which must be the
+    /// opening `(`, `[`, or `{`); returns the index just past the closer.
+    fn skip_group(&self, mut i: usize, end: usize) -> usize {
+        let (open, close) = match self.punct_at(i) {
+            Some('(') => ('(', ')'),
+            Some('[') => ('[', ']'),
+            Some('{') => ('{', '}'),
+            _ => return i + 1,
+        };
+        let mut depth = 0i32;
+        while i < end {
+            match self.punct_at(i) {
+                Some(c) if c == open => depth += 1,
+                Some(c) if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Scans forward from `i` for the first `{` or `;` at delimiter depth
+    /// zero (crossing `(…)` / `[…]` groups whole). Returns its index, or
+    /// `end`.
+    fn find_body_or_semi(&self, mut i: usize, end: usize) -> usize {
+        while i < end {
+            match self.punct_at(i) {
+                Some('{') | Some(';') => return i,
+                Some('(') | Some('[') => i = self.skip_group(i, end),
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Parses an attribute group `#[ … ]` at `i`; returns (next index,
+    /// is_cfg_test_or_test).
+    fn attribute(&self, i: usize) -> (usize, bool) {
+        // cursor on '#'; optional '!' for inner attributes.
+        let mut j = i + 1;
+        if self.punct_at(j) == Some('!') {
+            j += 1;
+        }
+        if self.punct_at(j) != Some('[') {
+            return (i + 1, false);
+        }
+        let close = self.skip_group(j, self.toks.len());
+        let mut test = false;
+        let mut saw_cfg = false;
+        for k in j + 1..close.saturating_sub(1) {
+            if let Some(id) = self.ident_at(k) {
+                if id == "cfg" {
+                    saw_cfg = true;
+                }
+                if id == "test" && (saw_cfg || k == j + 1) {
+                    test = true;
+                }
+            }
+        }
+        (close, test)
+    }
+
+    /// Parses items in `[i, end)`; stops at `end` or an unmatched `}`.
+    fn items(&mut self, mut i: usize, end: usize, in_test: bool) -> (Vec<Item>, usize) {
+        let mut items = Vec::new();
+        while i < end {
+            // Unmatched close brace: end of the enclosing block.
+            if self.punct_at(i) == Some('}') {
+                return (items, i);
+            }
+            // Attributes (possibly several).
+            let mut cfg_test = in_test;
+            while self.punct_at(i) == Some('#') {
+                let (next, test) = self.attribute(i);
+                cfg_test |= test;
+                i = next;
+            }
+            // Visibility.
+            if self.ident_at(i) == Some("pub") {
+                i += 1;
+                if self.punct_at(i) == Some('(') {
+                    i = self.skip_group(i, end);
+                }
+            }
+            match self.ident_at(i) {
+                Some("unsafe") | Some("async") | Some("extern") | Some("default") => {
+                    i += 1;
+                    continue; // qualifier before fn/impl/trait
+                }
+                Some("fn") => {
+                    let (item, next) = self.fn_item(i, end, cfg_test);
+                    if let Some(f) = item {
+                        items.push(Item::Fn(f));
+                    }
+                    i = next;
+                }
+                Some("impl") => {
+                    let (item, next) = self.impl_block(i, end, cfg_test, false);
+                    if let Some(b) = item {
+                        items.push(Item::Impl(b));
+                    }
+                    i = next;
+                }
+                Some("trait") => {
+                    let (item, next) = self.impl_block(i, end, cfg_test, true);
+                    if let Some(b) = item {
+                        items.push(Item::Impl(b));
+                    }
+                    i = next;
+                }
+                Some("enum") => {
+                    let (item, next) = self.enum_def(i, end, cfg_test);
+                    if let Some(e) = item {
+                        items.push(Item::Enum(e));
+                    }
+                    i = next;
+                }
+                Some("const") | Some("static") => {
+                    let (item, next) = self.const_def(i, end);
+                    if let Some(c) = item {
+                        items.push(Item::Const(c));
+                    }
+                    i = next;
+                }
+                Some("mod") => {
+                    let name = self.ident_at(i + 1).unwrap_or("").to_string();
+                    let at = self.find_body_or_semi(i + 2, end);
+                    if self.punct_at(at) == Some('{') {
+                        let (inner, stop) = self.items(at + 1, end, cfg_test);
+                        items.push(Item::Mod(ModDef {
+                            name,
+                            cfg_test,
+                            items: inner,
+                        }));
+                        i = stop + 1;
+                    } else {
+                        i = at + 1; // `mod name;` — out-of-line, own file
+                    }
+                }
+                _ => {
+                    // struct / use / type / macro invocation / stray token:
+                    // skip to the next `;` or past a balanced `{ … }`.
+                    let at = self.find_body_or_semi(i + 1, end);
+                    if self.punct_at(at) == Some('{') {
+                        i = self.skip_group(at, end);
+                        // struct-with-braces has no trailing `;`…
+                        if self.punct_at(i) == Some(';') {
+                            i += 1;
+                        }
+                    } else {
+                        i = at + 1;
+                    }
+                }
+            }
+        }
+        (items, i)
+    }
+
+    /// `fn name <generics>? ( params ) -> ret? where…? { body }` or `;`.
+    /// Cursor on `fn`.
+    fn fn_item(&mut self, i: usize, end: usize, cfg_test: bool) -> (Option<FnItem>, usize) {
+        let name_tok = match self.toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.clone(),
+            _ => return (None, i + 1),
+        };
+        let mut j = i + 2;
+        if self.punct_at(j) == Some('<') {
+            j = self.skip_angles(j, end);
+        }
+        if self.punct_at(j) == Some('(') {
+            j = self.skip_group(j, end);
+        }
+        let at = self.find_body_or_semi(j, end);
+        let (facts, next) = if self.punct_at(at) == Some('{') {
+            let close = self.skip_group(at, end);
+            let facts = scan_body(self, at + 1, close.saturating_sub(1));
+            (Some(facts), close)
+        } else {
+            (None, at + 1) // bodyless trait method
+        };
+        (
+            Some(FnItem {
+                name: name_tok.text,
+                cfg_test,
+                line: name_tok.line,
+                col: name_tok.col,
+                facts,
+            }),
+            next,
+        )
+    }
+
+    /// Reads a type path `a::b::C<…>` at `i`; returns (last segment before
+    /// generics, index past the path including a trailing `<…>` group).
+    fn type_path(&self, mut i: usize, end: usize) -> (String, usize) {
+        let mut last = String::new();
+        while let Some(id) = self.ident_at(i) {
+            last = id.to_string();
+            i += 1;
+            if self.punct_at(i) == Some('<') {
+                i = self.skip_angles(i, end);
+            }
+            if self.punct_at(i) == Some(':') && self.punct_at(i + 1) == Some(':') {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        (last, i)
+    }
+
+    /// `impl<…>? Path (for Path)? where…? { … }` or `trait Name { … }`.
+    /// Cursor on `impl` / `trait`.
+    fn impl_block(
+        &mut self,
+        i: usize,
+        end: usize,
+        cfg_test: bool,
+        is_trait: bool,
+    ) -> (Option<ImplBlock>, usize) {
+        let line = self.toks[i].line;
+        let mut j = i + 1;
+        if self.punct_at(j) == Some('<') {
+            j = self.skip_angles(j, end);
+        }
+        let (first, after_first) = self.type_path(j, end);
+        if first.is_empty() {
+            return (None, j + 1);
+        }
+        j = after_first;
+        let (self_ty, trait_name) = if !is_trait && self.ident_at(j) == Some("for") {
+            let (second, after) = self.type_path(j + 1, end);
+            j = after;
+            (second, Some(first))
+        } else {
+            (first, None)
+        };
+        let open = self.find_body_or_semi(j, end);
+        if self.punct_at(open) != Some('{') {
+            return (None, open + 1);
+        }
+        let close = self.skip_group(open, end);
+        // Parse the block's items; keep fns, assoc types, ignore the rest.
+        let mut fns = Vec::new();
+        let mut assoc_types = Vec::new();
+        let mut k = open + 1;
+        let inner_end = close.saturating_sub(1);
+        while k < inner_end {
+            let mut item_test = cfg_test;
+            while self.punct_at(k) == Some('#') {
+                let (next, test) = self.attribute(k);
+                item_test |= test;
+                k = next;
+            }
+            if self.ident_at(k) == Some("pub") {
+                k += 1;
+                if self.punct_at(k) == Some('(') {
+                    k = self.skip_group(k, inner_end);
+                }
+            }
+            match self.ident_at(k) {
+                Some("unsafe") | Some("async") | Some("default") | Some("extern") => k += 1,
+                Some("fn") => {
+                    let (item, next) = self.fn_item(k, inner_end, item_test);
+                    if let Some(f) = item {
+                        fns.push(f);
+                    }
+                    k = next;
+                }
+                Some("type") => {
+                    // `type Name<…>? : bounds? (= First…)? ;`
+                    let name = self.ident_at(k + 1).unwrap_or("").to_string();
+                    let semi = self.find_body_or_semi(k + 2, inner_end);
+                    let mut value = String::new();
+                    for m in k + 2..semi {
+                        if self.punct_at(m) == Some('=') {
+                            if let Some(id) = self.ident_at(m + 1) {
+                                value = id.to_string();
+                            }
+                            break;
+                        }
+                    }
+                    if !name.is_empty() && !value.is_empty() {
+                        assoc_types.push((name, value));
+                    }
+                    k = semi + 1;
+                }
+                _ => {
+                    let at = self.find_body_or_semi(k + 1, inner_end);
+                    if self.punct_at(at) == Some('{') {
+                        k = self.skip_group(at, inner_end);
+                    } else {
+                        k = at + 1;
+                    }
+                }
+            }
+        }
+        (
+            Some(ImplBlock {
+                self_ty,
+                trait_name,
+                is_trait_def: is_trait,
+                assoc_types,
+                fns,
+                cfg_test,
+                line,
+            }),
+            close,
+        )
+    }
+
+    /// `enum Name<…>? { Variant(…)?, … }`. Cursor on `enum`.
+    fn enum_def(&mut self, i: usize, end: usize, cfg_test: bool) -> (Option<EnumDef>, usize) {
+        let line = self.toks[i].line;
+        let name = match self.ident_at(i + 1) {
+            Some(n) => n.to_string(),
+            None => return (None, i + 1),
+        };
+        let open = self.find_body_or_semi(i + 2, end);
+        if self.punct_at(open) != Some('{') {
+            return (None, open + 1);
+        }
+        let close = self.skip_group(open, end);
+        let mut variants = Vec::new();
+        let mut k = open + 1;
+        let inner_end = close.saturating_sub(1);
+        let mut expect_variant = true;
+        while k < inner_end {
+            while self.punct_at(k) == Some('#') {
+                let (next, _) = self.attribute(k);
+                k = next;
+            }
+            if expect_variant {
+                if let Some(v) = self.ident_at(k) {
+                    variants.push(v.to_string());
+                    expect_variant = false;
+                    k += 1;
+                    continue;
+                }
+            }
+            match self.punct_at(k) {
+                Some(',') => {
+                    expect_variant = true;
+                    k += 1;
+                }
+                Some('(') | Some('{') | Some('[') => k = self.skip_group(k, inner_end),
+                _ => k += 1, // discriminant `= expr` etc.
+            }
+        }
+        (
+            Some(EnumDef {
+                name,
+                variants,
+                cfg_test,
+                line,
+            }),
+            close,
+        )
+    }
+
+    /// `const NAME : Ty = expr ;`. Cursor on `const` / `static`.
+    fn const_def(&mut self, i: usize, end: usize) -> (Option<ConstDef>, usize) {
+        let mut j = i + 1;
+        if self.ident_at(j) == Some("mut") {
+            j += 1;
+        }
+        let name_tok = match self.toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident => t.clone(),
+            _ => return (None, i + 1),
+        };
+        let semi = self.find_body_or_semi(j + 1, end);
+        if self.punct_at(semi) == Some('{') {
+            // `const fn` already handled by the `fn` arm; a brace here means
+            // something unexpected — bail past it.
+            return (None, self.skip_group(semi, end));
+        }
+        // Find the `=` at depth zero, then evaluate the tail.
+        let mut eq = None;
+        let mut m = j + 1;
+        while m < semi {
+            match self.punct_at(m) {
+                Some('=') => {
+                    eq = Some(m);
+                    break;
+                }
+                Some('(') | Some('[') => m = self.skip_group(m, semi),
+                Some('<') => m = self.skip_angles(m, semi),
+                _ => m += 1,
+            }
+        }
+        let value = eq.and_then(|e| eval_const(&self.toks[e + 1..semi]));
+        (
+            Some(ConstDef {
+                name: name_tok.text,
+                value,
+                line: name_tok.line,
+                col: name_tok.col,
+            }),
+            semi + 1,
+        )
+    }
+}
+
+/// Evaluates a literal integer expression: `Int`, `(e)`, `e << e`,
+/// `e >> e`, `e | e`, `e + e`, `e - e`, `e * e`, left-associative, no
+/// precedence beyond shifts binding looser than `*`. Anything else (an
+/// ident, a call) yields `None`.
+fn eval_const(toks: &[Token]) -> Option<u128> {
+    /// A binary operator: applies to (lhs, rhs), `None` on overflow.
+    type BinOp = fn(u128, u128) -> Option<u128>;
+    // Tokenize into (value | op) atoms, recursing into parens.
+    fn parse_expr(toks: &[Token], i: &mut usize) -> Option<u128> {
+        let mut acc = parse_term(toks, i)?;
+        while *i < toks.len() {
+            let (op, skip): (BinOp, usize) = match punct(toks, *i) {
+                Some('<') if punct(toks, *i + 1) == Some('<') => {
+                    (|a, b| a.checked_shl(b as u32), 2)
+                }
+                Some('>') if punct(toks, *i + 1) == Some('>') => {
+                    (|a, b| a.checked_shr(b as u32), 2)
+                }
+                Some('|') => (|a, b| Some(a | b), 1),
+                Some('+') => (u128::checked_add, 1),
+                Some('-') => (u128::checked_sub, 1),
+                Some('*') => (u128::checked_mul, 1),
+                _ => return Some(acc),
+            };
+            *i += skip;
+            let rhs = parse_term(toks, i)?;
+            acc = op(acc, rhs)?;
+        }
+        Some(acc)
+    }
+    fn parse_term(toks: &[Token], i: &mut usize) -> Option<u128> {
+        match toks.get(*i) {
+            Some(t) if t.kind == TokKind::Int => {
+                *i += 1;
+                parse_int(&t.text)
+            }
+            Some(Token {
+                kind: TokKind::Punct('('),
+                ..
+            }) => {
+                *i += 1;
+                let v = parse_expr(toks, i)?;
+                if punct(toks, *i) == Some(')') {
+                    *i += 1;
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+    fn punct(toks: &[Token], i: usize) -> Option<char> {
+        match toks.get(i) {
+            Some(Token {
+                kind: TokKind::Punct(c),
+                ..
+            }) => Some(*c),
+            _ => None,
+        }
+    }
+    let mut i = 0;
+    let v = parse_expr(toks, &mut i)?;
+    // Trailing tokens (e.g. `as u64`) are fine as long as they are a cast.
+    if i < toks.len() {
+        let rest_ok = toks[i..]
+            .iter()
+            .all(|t| t.kind == TokKind::Ident || matches!(t.kind, TokKind::Punct(_)));
+        if !rest_ok {
+            return None;
+        }
+        // Only accept `as Ty` tails; anything else means we misparsed.
+        if toks.get(i).map(|t| t.text.as_str()) != Some("as") {
+            return None;
+        }
+    }
+    Some(v)
+}
+
+/// Parses an integer literal's text (`1_000u64`, `0x1F`) into a value.
+fn parse_int(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x") {
+        (h, 16)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (o, 8)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (b, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    // Strip a type suffix (u8..u128, i8.., usize…).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Whether an identifier starts uppercase (type/variant shaped).
+fn upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_uppercase())
+}
+
+/// Extracts [`BodyFacts`] from the token range `[start, end)` (the inside
+/// of a function body).
+fn scan_body(p: &Parser, start: usize, end: usize) -> BodyFacts {
+    let toks = p.toks;
+    let mut f = BodyFacts {
+        tokens: end.saturating_sub(start),
+        ..BodyFacts::default()
+    };
+    let mut last_index_line = 0u32;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                // Macro invocation `name!(…)` / `name![…]` / `name!{…}`.
+                if p.punct_at(i + 1) == Some('!')
+                    && matches!(p.punct_at(i + 2), Some('(') | Some('[') | Some('{'))
+                {
+                    f.macros.push(Site {
+                        name: name.to_string(),
+                        line: t.line,
+                        col: t.col,
+                    });
+                    i += 2; // keep scanning inside the macro's arguments
+                    continue;
+                }
+                // `A::B` path pair (both uppercase → enum-variant shaped).
+                if p.punct_at(i + 1) == Some(':') && p.punct_at(i + 2) == Some(':') {
+                    if let Some(second) = p.ident_at(i + 3) {
+                        let second = second.to_string();
+                        if upper(name) && upper(&second) {
+                            f.paths.push(PathPair {
+                                ty: name.to_string(),
+                                variant: second.clone(),
+                                line: t.line,
+                                col: t.col,
+                            });
+                        }
+                        // `Qual::name(…)` call: record here and consume the
+                        // callee ident so it is not re-recorded unqualified.
+                        if p.punct_at(i + 4) == Some('(') {
+                            f.calls.push(CallSite {
+                                name: second,
+                                qualifier: Some(name.to_string()),
+                                method: false,
+                                line: toks[i + 3].line,
+                                col: toks[i + 3].col,
+                            });
+                            i += 4;
+                        } else {
+                            i += 3; // land on the second ident: path chains
+                        }
+                        continue;
+                    }
+                }
+                // Plain or method call `name(…)`.
+                if p.punct_at(i + 1) == Some('(') && name != "matches" {
+                    let method = p.punct_at(i.wrapping_sub(1)) == Some('.');
+                    // Skip `if`/`while`/`for`/`match` heads: `(cond)` is
+                    // not a call on the keyword.
+                    if !NON_INDEX_PREV.contains(&name) {
+                        f.calls.push(CallSite {
+                            name: name.to_string(),
+                            qualifier: None,
+                            method,
+                            line: t.line,
+                            col: t.col,
+                        });
+                        // Arming call: collect pairs inside the argument list.
+                        if ARMING_CALLS.contains(&name) {
+                            let close = p.skip_group(i + 1, end);
+                            let mut a = i + 2;
+                            while a + 3 < close {
+                                if p.punct_at(a + 1) == Some(':') && p.punct_at(a + 2) == Some(':')
+                                {
+                                    if let (Some(x), Some(y)) = (p.ident_at(a), p.ident_at(a + 3)) {
+                                        if upper(x) && upper(y) {
+                                            f.armed.push(PathPair {
+                                                ty: x.to_string(),
+                                                variant: y.to_string(),
+                                                line: toks[a].line,
+                                                col: toks[a].col,
+                                            });
+                                        }
+                                    }
+                                }
+                                a += 1;
+                            }
+                        }
+                    }
+                }
+                // Match expression: record arm facts via lookahead without
+                // consuming (calls/indexes inside arms are still seen by
+                // this linear walk).
+                if name == "match" && p.punct_at(i.wrapping_sub(1)) != Some('.') {
+                    if let Some(m) = match_facts(p, i, end) {
+                        f.matches.push(m);
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Punct('[') => {
+                // Index expression: `[` directly after an ident (non-keyword),
+                // `)`, or `]`.
+                let prev = i.wrapping_sub(1);
+                let is_index = match toks.get(prev) {
+                    Some(pt) if pt.kind == TokKind::Ident => {
+                        i > start && !NON_INDEX_PREV.contains(&pt.text.as_str())
+                    }
+                    Some(Token {
+                        kind: TokKind::Punct(c),
+                        ..
+                    }) => i > start && (*c == ')' || *c == ']'),
+                    _ => false,
+                };
+                if is_index && t.line != last_index_line {
+                    last_index_line = t.line;
+                    f.indexes.push(Site {
+                        name: "index".to_string(),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    f
+}
+
+/// Lookahead parse of one `match` expression's arms. Cursor on `match`.
+fn match_facts(p: &Parser, i: usize, end: usize) -> Option<MatchFacts> {
+    let toks = p.toks;
+    // Scrutinee: scan to the `{` at depth zero. Struct literals cannot
+    // appear unparenthesized in a match scrutinee, so the first depth-zero
+    // `{` opens the arm block.
+    let mut j = i + 1;
+    while j < end {
+        match p.punct_at(j) {
+            Some('{') => break,
+            Some('(') | Some('[') => j = p.skip_group(j, end),
+            _ => j += 1,
+        }
+    }
+    if j >= end {
+        return None;
+    }
+    let close = p.skip_group(j, end);
+    let body_end = close.saturating_sub(1);
+    let mut m = MatchFacts {
+        line: toks[i].line,
+        ..MatchFacts::default()
+    };
+    let mut k = j + 1;
+    while k < body_end {
+        // ---- pattern: tokens until `=>` at depth zero ----
+        let pat_start = k;
+        let mut arrow = None;
+        while k < body_end {
+            match p.punct_at(k) {
+                Some('=') if p.punct_at(k + 1) == Some('>') => {
+                    arrow = Some(k);
+                    break;
+                }
+                Some('(') | Some('[') | Some('{') => k = p.skip_group(k, body_end),
+                Some('|') => k += 1,
+                _ => k += 1,
+            }
+        }
+        let arrow = match arrow {
+            Some(a) => a,
+            None => break,
+        };
+        // Guard splits pattern from condition; pairs in either are fine to
+        // record (a guard referencing a variant still "handles" nothing,
+        // but guards are rare and never uppercase-pair shaped here).
+        let mut pat_idents = 0usize;
+        let mut saw_pair = false;
+        let mut has_guard = false;
+        let mut q = pat_start;
+        while q < arrow {
+            if p.ident_at(q) == Some("if") {
+                has_guard = true;
+            }
+            if toks[q].kind == TokKind::Ident {
+                pat_idents += 1;
+            }
+            if p.punct_at(q + 1) == Some(':') && p.punct_at(q + 2) == Some(':') {
+                if let (Some(a), Some(b)) = (p.ident_at(q), p.ident_at(q + 3)) {
+                    if upper(a) && upper(b) {
+                        saw_pair = true;
+                        m.arm_pairs.push(PathPair {
+                            ty: a.to_string(),
+                            variant: b.to_string(),
+                            line: toks[q].line,
+                            col: toks[q].col,
+                        });
+                        q += 4;
+                        continue;
+                    }
+                }
+            }
+            match p.punct_at(q) {
+                Some('(') | Some('[') | Some('{') => q = p.skip_group(q, arrow),
+                _ => q += 1,
+            }
+        }
+        // Catch-all arm: a bare `_` or a lone binding ident with no pair,
+        // no guard, no structure.
+        let plain = arrow == pat_start + 1
+            && toks[pat_start].kind == TokKind::Ident
+            && !saw_pair
+            && !has_guard
+            && pat_idents == 1;
+        if plain {
+            m.wildcards.push(Site {
+                name: toks[pat_start].text.clone(),
+                line: toks[pat_start].line,
+                col: toks[pat_start].col,
+            });
+        }
+        // ---- arm body: `{…}` or expression to `,` at depth zero ----
+        k = arrow + 2;
+        if p.punct_at(k) == Some('{') {
+            k = p.skip_group(k, body_end);
+            if p.punct_at(k) == Some(',') {
+                k += 1;
+            }
+        } else {
+            while k < body_end {
+                match p.punct_at(k) {
+                    Some(',') => {
+                        k += 1;
+                        break;
+                    }
+                    Some('(') | Some('[') | Some('{') => k = p.skip_group(k, body_end),
+                    _ => k += 1,
+                }
+            }
+        }
+    }
+    Some(m)
+}
+
+/// Flattens an item tree into all functions with their impl context:
+/// `(impl block or None, fn)`. Modules are walked recursively; the
+/// `cfg_test` flags already account for enclosing `#[cfg(test)]` modules.
+pub fn all_fns(ast: &Ast) -> Vec<(Option<&ImplBlock>, &FnItem)> {
+    fn walk<'a>(items: &'a [Item], out: &mut Vec<(Option<&'a ImplBlock>, &'a FnItem)>) {
+        for it in items {
+            match it {
+                Item::Fn(f) => out.push((None, f)),
+                Item::Impl(b) => {
+                    for f in &b.fns {
+                        out.push((Some(b), f));
+                    }
+                }
+                Item::Mod(m) => walk(&m.items, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&ast.items, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn parses_fn_and_calls() {
+        let ast = parse_src(
+            "fn work(x: &mut Vec<u32>) -> usize {\n\
+                 let y = helper(x.len());\n\
+                 x.push(3);\n\
+                 Svc::route(y)\n\
+             }",
+        );
+        let fns = all_fns(&ast);
+        assert_eq!(fns.len(), 1);
+        let facts = fns[0].1.facts.as_ref().unwrap();
+        let names: Vec<&str> = facts.calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"push"));
+        assert!(names.contains(&"route"));
+        let route = facts.calls.iter().find(|c| c.name == "route").unwrap();
+        assert_eq!(route.qualifier.as_deref(), Some("Svc"));
+        let push = facts.calls.iter().find(|c| c.name == "push").unwrap();
+        assert!(push.method);
+    }
+
+    #[test]
+    fn parses_impl_trait_for_type() {
+        let ast = parse_src(
+            "impl<S: Strategy> CoordinationStrategy for AggAsyncStrategy<S> {\n\
+                 type App = AggApp;\n\
+                 fn on_reply(&mut self) { self.pump(); }\n\
+             }",
+        );
+        let b = match &ast.items[0] {
+            Item::Impl(b) => b,
+            other => panic!("expected impl, got {other:?}"),
+        };
+        assert_eq!(b.self_ty, "AggAsyncStrategy");
+        assert_eq!(b.trait_name.as_deref(), Some("CoordinationStrategy"));
+        assert_eq!(
+            b.assoc_types,
+            vec![("App".to_string(), "AggApp".to_string())]
+        );
+        assert_eq!(b.fns.len(), 1);
+        assert_eq!(b.fns[0].name, "on_reply");
+    }
+
+    #[test]
+    fn parses_trait_default_methods() {
+        let ast = parse_src(
+            "pub trait CoordinationStrategy {\n\
+                 type App: Clone;\n\
+                 fn on_start(&mut self);\n\
+                 fn on_give_up(&mut self, key: u64) { unreachable!(\"no give-up\") }\n\
+             }",
+        );
+        let b = match &ast.items[0] {
+            Item::Impl(b) => b,
+            other => panic!("expected trait block, got {other:?}"),
+        };
+        assert!(b.is_trait_def);
+        assert_eq!(b.self_ty, "CoordinationStrategy");
+        assert_eq!(b.fns.len(), 2);
+        assert!(b.fns[0].facts.is_none()); // bodyless decl
+        let give_up = &b.fns[1];
+        let facts = give_up.facts.as_ref().unwrap();
+        assert!(facts.macros.iter().any(|m| m.name == "unreachable"));
+    }
+
+    #[test]
+    fn parses_enum_variants() {
+        let ast = parse_src(
+            "pub enum RtMsg<A, Q, P> {\n\
+                 App(A),\n\
+                 Req { key: u64, attempt: u32, payload: Q },\n\
+                 Rep { key: u64, attempt: u32, payload: P },\n\
+                 Timeout { key: u64, attempt: u32 },\n\
+             }",
+        );
+        let e = match &ast.items[0] {
+            Item::Enum(e) => e,
+            other => panic!("expected enum, got {other:?}"),
+        };
+        assert_eq!(e.name, "RtMsg");
+        assert_eq!(e.variants, vec!["App", "Req", "Rep", "Timeout"]);
+    }
+
+    #[test]
+    fn evaluates_const_expressions() {
+        let ast = parse_src(
+            "pub const TAKEOVER_KEY_BASE: u64 = 1 << 40;\n\
+             pub(crate) const BATCH_KEY_BASE: u64 = 1 << 32;\n\
+             const MIX: u64 = (1 << 8) + 0x10;\n\
+             const CAST: u64 = 7 as u64;\n\
+             const OPAQUE: u64 = helper();",
+        );
+        let consts: Vec<(&str, Option<u128>)> = ast
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Const(c) => Some((c.name.as_str(), c.value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts[0], ("TAKEOVER_KEY_BASE", Some(1 << 40)));
+        assert_eq!(consts[1], ("BATCH_KEY_BASE", Some(1 << 32)));
+        assert_eq!(consts[2], ("MIX", Some(272)));
+        assert_eq!(consts[3], ("CAST", Some(7)));
+        assert_eq!(consts[4], ("OPAQUE", None));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns() {
+        let ast = parse_src(
+            "fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() { data[0]; }\n\
+                 #[test]\n\
+                 fn t() { helper(); }\n\
+             }",
+        );
+        let fns = all_fns(&ast);
+        assert_eq!(fns.len(), 3);
+        assert!(!fns[0].1.cfg_test);
+        assert!(fns[1].1.cfg_test);
+        assert!(fns[2].1.cfg_test);
+    }
+
+    #[test]
+    fn match_arms_and_wildcards() {
+        let ast = parse_src(
+            "fn dispatch(msg: RtMsg) {\n\
+                 match msg {\n\
+                     RtMsg::App(a) => go(a),\n\
+                     RtMsg::Req { key, .. } => serve(key),\n\
+                     _ => {}\n\
+                 }\n\
+             }",
+        );
+        let fns = all_fns(&ast);
+        let facts = fns[0].1.facts.as_ref().unwrap();
+        assert_eq!(facts.matches.len(), 1);
+        let m = &facts.matches[0];
+        let pairs: Vec<&str> = m.arm_pairs.iter().map(|p| p.variant.as_str()).collect();
+        assert_eq!(pairs, vec!["App", "Req"]);
+        assert_eq!(m.wildcards.len(), 1);
+        assert_eq!(m.wildcards[0].name, "_");
+    }
+
+    #[test]
+    fn binding_catch_all_is_a_wildcard() {
+        let ast = parse_src(
+            "fn f(x: AggApp) { match x { AggApp::Poll => poll(), other => drop(other) } }",
+        );
+        let facts = all_fns(&ast)[0].1.facts.as_ref().unwrap();
+        assert_eq!(facts.matches[0].wildcards.len(), 1);
+        assert_eq!(facts.matches[0].wildcards[0].name, "other");
+    }
+
+    #[test]
+    fn armed_variants_in_timer_calls() {
+        let ast = parse_src(
+            "fn on_start(&mut self, rt: &mut RtCtx) {\n\
+                 rt.after_app(rt.poll_interval(), AsyncApp::Poll);\n\
+                 ctx.send_with_timer(dst, bytes, req, delay, RtMsg::Timeout { key, attempt });\n\
+             }",
+        );
+        let facts = all_fns(&ast)[0].1.facts.as_ref().unwrap();
+        let armed: Vec<(&str, &str)> = facts
+            .armed
+            .iter()
+            .map(|p| (p.ty.as_str(), p.variant.as_str()))
+            .collect();
+        assert!(armed.contains(&("AsyncApp", "Poll")));
+        assert!(armed.contains(&("RtMsg", "Timeout")));
+    }
+
+    #[test]
+    fn index_sites_detected_not_array_literals() {
+        let ast = parse_src(
+            "fn f(xs: &[u32], m: &Map) -> u32 {\n\
+                 let a = [0u32; 4];\n\
+                 let b = vec![1, 2];\n\
+                 xs[0] + self.ledger[1]\n\
+             }",
+        );
+        let facts = all_fns(&ast)[0].1.facts.as_ref().unwrap();
+        // `[0u32; 4]` after `=` and `vec![…]` must not count; `xs[0]` and
+        // `ledger[1]` share no line with them.
+        assert_eq!(facts.indexes.len(), 1); // deduped: both on line 4
+        assert_eq!(facts.indexes[0].line, 4);
+    }
+
+    #[test]
+    fn nested_generics_and_where_clauses() {
+        let ast = parse_src(
+            "impl<A: Clone, Q: Clone, P: Clone> RankRuntime<A, Q, P>\n\
+             where A: Send {\n\
+                 fn route(&mut self, v: Vec<Arc<Mutex<BTreeMap<u64, Q>>>>) -> Option<P> {\n\
+                     self.inner.get(0)\n\
+                 }\n\
+             }",
+        );
+        let b = match &ast.items[0] {
+            Item::Impl(b) => b,
+            other => panic!("expected impl, got {other:?}"),
+        };
+        assert_eq!(b.self_ty, "RankRuntime");
+        assert!(b.trait_name.is_none());
+        assert_eq!(b.fns.len(), 1);
+        assert_eq!(b.fns[0].name, "route");
+    }
+}

@@ -1,7 +1,10 @@
-//! Rendering of scan results: human-readable (rustc-style) and JSON.
+//! Rendering of scan results: human-readable (rustc-style) and JSON, plus
+//! stable finding IDs and the committed findings baseline (ratchet).
 //!
-//! The JSON schema is stable and documented in the README so the lint can
-//! be wired into pre-commit hooks and CI annotations:
+//! # JSON schema
+//!
+//! The JSON schema is stable so the lint can be wired into pre-commit
+//! hooks and CI annotations:
 //!
 //! ```json
 //! {
@@ -11,6 +14,7 @@
 //!   "warn_findings": 0,
 //!   "findings": [
 //!     {
+//!       "id": "gnb-9f2c4e1a77b05d38",
 //!       "rule": "unordered-collections",
 //!       "level": "deny",
 //!       "path": "crates/sim/src/engine.rs",
@@ -21,8 +25,36 @@
 //!   ]
 //! }
 //! ```
+//!
+//! # Stable finding IDs
+//!
+//! `id` is `"gnb-"` plus the 64-bit FNV-1a hash (hex) of
+//! `rule \0 path \0 normalized-span \0 ordinal`, where *normalized-span*
+//! is the finding's source line with leading/trailing whitespace stripped,
+//! and *ordinal* is the finding's index among findings of the same rule,
+//! path and normalized span (so two identical hazards on identical lines
+//! get distinct IDs). Line and column numbers are deliberately **not**
+//! hashed: inserting code above a finding shifts its span but not its ID,
+//! which is what lets a committed baseline survive unrelated edits.
+//! Changing the offending line itself (or the rule, or moving the file)
+//! changes the ID — that is a new finding, and the ratchet should see it.
+//!
+//! # Baseline (ratchet)
+//!
+//! `gnb-lint --baseline lint-baseline.json` compares the scan against a
+//! committed baseline file:
+//!
+//! ```json
+//! { "version": 1, "findings": [ { "id": "gnb-…", "rule": "…", "path": "…" } ] }
+//! ```
+//!
+//! * a finding whose ID is **not** in the baseline is *new* → exit 1;
+//! * a baseline entry whose ID no longer occurs is *stale* → exit 1 (the
+//!   fix must shrink the baseline, so the ratchet only ever tightens);
+//! * `--write-baseline` regenerates the file from the current scan.
 
 use crate::rules::{Finding, Level};
+use std::collections::BTreeSet;
 
 /// Result of a whole-tree scan.
 #[derive(Debug, Clone)]
@@ -97,6 +129,7 @@ impl Report {
                 out.push(',');
             }
             out.push_str("\n    {");
+            out.push_str(&format!("\"id\": {}, ", json_str(&f.id)));
             out.push_str(&format!("\"rule\": {}, ", json_str(f.rule.name())));
             out.push_str(&format!(
                 "\"level\": {}, ",
@@ -116,6 +149,116 @@ impl Report {
         }
         out.push_str("]\n}\n");
         out
+    }
+
+    /// Renders the baseline file for the current findings.
+    pub fn render_baseline(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"id\": {}, \"rule\": {}, \"path\": {}}}",
+                json_str(&f.id),
+                json_str(f.rule.name()),
+                json_str(&f.path)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Computes a finding's stable ID (see the module docs for the scheme).
+pub fn finding_id(rule: &str, path: &str, normalized_span: &str, ordinal: usize) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(rule.as_bytes());
+    eat(b"\0");
+    eat(path.as_bytes());
+    eat(b"\0");
+    eat(normalized_span.trim().as_bytes());
+    eat(b"\0");
+    eat(ordinal.to_string().as_bytes());
+    format!("gnb-{h:016x}")
+}
+
+/// Assigns stable IDs to findings given a line lookup (path → source
+/// lines). Findings whose file is unavailable hash an empty span.
+pub fn assign_ids<'a>(findings: &mut [Finding], line_of: impl Fn(&str, u32) -> Option<&'a str>) {
+    // Ordinal: index among findings with identical (rule, path, span).
+    let mut seen: std::collections::BTreeMap<(String, String, String), usize> =
+        std::collections::BTreeMap::new();
+    for f in findings.iter_mut() {
+        let span = line_of(&f.path, f.line).unwrap_or("").trim().to_string();
+        let key = (f.rule.name().to_string(), f.path.clone(), span.clone());
+        let ord = seen.entry(key).or_insert(0);
+        f.id = finding_id(f.rule.name(), &f.path, &span, *ord);
+        *ord += 1;
+    }
+}
+
+/// A parsed findings baseline: the set of accepted finding IDs.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Accepted finding IDs.
+    pub ids: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parses a baseline file. The parser is a minimal scanner for the
+    /// schema this crate writes (`"id": "…"` string values); it is not a
+    /// general JSON parser.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        if !text.contains("\"version\"") {
+            return Err("baseline missing \"version\" field".to_string());
+        }
+        let mut ids = BTreeSet::new();
+        let mut rest = text;
+        while let Some(at) = rest.find("\"id\"") {
+            rest = &rest[at + 4..];
+            let Some(colon) = rest.find(':') else {
+                return Err("baseline: `\"id\"` without value".to_string());
+            };
+            let after = rest[colon + 1..].trim_start();
+            let Some(stripped) = after.strip_prefix('"') else {
+                return Err("baseline: id value is not a string".to_string());
+            };
+            let Some(end) = stripped.find('"') else {
+                return Err("baseline: unterminated id string".to_string());
+            };
+            ids.insert(stripped[..end].to_string());
+            rest = &stripped[end + 1..];
+        }
+        Ok(Baseline { ids })
+    }
+
+    /// Ratchet comparison: (new findings not in the baseline, stale
+    /// baseline IDs no longer found).
+    pub fn diff<'r>(&self, report: &'r Report) -> (Vec<&'r Finding>, Vec<String>) {
+        let current: BTreeSet<&str> = report.findings.iter().map(|f| f.id.as_str()).collect();
+        let new: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| !self.ids.contains(&f.id))
+            .collect();
+        let stale: Vec<String> = self
+            .ids
+            .iter()
+            .filter(|id| !current.contains(id.as_str()))
+            .cloned()
+            .collect();
+        (new, stale)
     }
 }
 
@@ -154,6 +297,7 @@ mod tests {
                 line: 7,
                 col: 13,
                 message: "uses \"Instant\"".to_string(),
+                id: "gnb-0000000000000001".to_string(),
             }],
         }
     }
@@ -172,6 +316,7 @@ mod tests {
     fn json_escapes_and_structures() {
         let j = sample().render_json();
         assert!(j.contains("\"rule\": \"wall-clock\""), "{j}");
+        assert!(j.contains("\"id\": \"gnb-0000000000000001\""), "{j}");
         assert!(j.contains("\"line\": 7"), "{j}");
         assert!(j.contains("uses \\\"Instant\\\""), "{j}");
         // Counts present.
@@ -196,5 +341,62 @@ mod tests {
         assert_eq!(r.deny_count(), 0);
         r.deny_all();
         assert_eq!(r.deny_count(), 1);
+    }
+
+    #[test]
+    fn ids_survive_line_shifts_but_not_content_changes() {
+        let a = finding_id("wall-clock", "a.rs", "  let t = Instant::now();", 0);
+        let b = finding_id("wall-clock", "a.rs", "let t = Instant::now();\t", 0);
+        assert_eq!(a, b); // whitespace-normalized span
+        let c = finding_id("wall-clock", "a.rs", "let u = Instant::now();", 0);
+        assert_ne!(a, c); // content change → new ID
+        let d = finding_id("wall-clock", "b.rs", "let t = Instant::now();", 0);
+        assert_ne!(a, d); // path is part of the identity
+        let e = finding_id("wall-clock", "a.rs", "let t = Instant::now();", 1);
+        assert_ne!(a, e); // ordinal distinguishes duplicates
+    }
+
+    #[test]
+    fn assign_ids_orders_duplicates() {
+        let mk = |line: u32| Finding {
+            rule: Rule::WallClock,
+            level: Level::Deny,
+            path: "a.rs".to_string(),
+            line,
+            col: 1,
+            message: String::new(),
+            id: String::new(),
+        };
+        let mut fs = vec![mk(1), mk(2)];
+        // Both lines have identical content → ordinals 0 and 1.
+        assign_ids(&mut fs, |_, _| Some("let t = Instant::now();"));
+        assert_ne!(fs[0].id, fs[1].id);
+        assert!(fs.iter().all(|f| f.id.starts_with("gnb-")));
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let r = sample();
+        let text = r.render_baseline();
+        let base = Baseline::parse(&text).unwrap();
+        assert!(base.ids.contains("gnb-0000000000000001"));
+        let (new, stale) = base.diff(&r);
+        assert!(new.is_empty() && stale.is_empty());
+
+        // A second finding is new; removing the first makes it stale.
+        let mut r2 = r.clone();
+        r2.findings[0].id = "gnb-000000000000beef".to_string();
+        let (new, stale) = base.diff(&r2);
+        assert_eq!(new.len(), 1);
+        assert_eq!(stale, vec!["gnb-0000000000000001".to_string()]);
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(Baseline::parse("not json at all").is_err());
+        assert!(Baseline::parse("{ \"version\": 1, \"findings\": [] }")
+            .unwrap()
+            .ids
+            .is_empty());
     }
 }

@@ -39,18 +39,32 @@ pub enum Rule {
     AmbientRng,
     /// `fold` accumulating a float in source order.
     FloatFoldOrder,
+    /// Coordination-protocol contract violation (semantic pass): a strategy
+    /// issuing tracked requests without real `on_reply`/`on_give_up`
+    /// bodies, an armed timer variant nobody handles, a wildcard arm
+    /// discarding protocol payload variants, or overlapping key-namespace
+    /// constants.
+    ProtocolContract,
+    /// A panic site (`unwrap`/`expect`/`panic!`/`unreachable!`/indexing)
+    /// in a function reachable from the recovery hooks or engine dispatch
+    /// (semantic pass).
+    PanicPath,
+    /// A waiver whose rule no longer fires on its line (semantic pass).
+    UnusedWaiver,
     /// A `gnb-lint:` annotation that does not parse.
     BadAnnotation,
 }
 
-/// All auditable rules (excludes the meta-rule [`Rule::BadAnnotation`],
-/// which is always on and cannot be waived).
-pub const AUDIT_RULES: [Rule; 5] = [
+/// All auditable rules (excludes the meta-rules [`Rule::BadAnnotation`]
+/// and [`Rule::UnusedWaiver`], which are always on and cannot be waived).
+pub const AUDIT_RULES: [Rule; 7] = [
     Rule::UnorderedCollections,
     Rule::WallClock,
     Rule::AmbientEnv,
     Rule::AmbientRng,
     Rule::FloatFoldOrder,
+    Rule::ProtocolContract,
+    Rule::PanicPath,
 ];
 
 /// Finding severity. `Deny` findings fail the build; `Warn` findings are
@@ -72,6 +86,9 @@ impl Rule {
             Rule::AmbientEnv => "ambient-env",
             Rule::AmbientRng => "ambient-rng",
             Rule::FloatFoldOrder => "float-fold-order",
+            Rule::ProtocolContract => "protocol-contract",
+            Rule::PanicPath => "panic-path",
+            Rule::UnusedWaiver => "unused-waiver",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
@@ -82,7 +99,9 @@ impl Rule {
     }
 
     /// Default severity. `float-fold-order` is a heuristic (it cannot see
-    /// whether the source iterator is sorted), so it warns by default.
+    /// whether the source iterator is sorted), so it warns by default —
+    /// except inside the determinism core, where [`crate::walk`] upgrades
+    /// it to deny.
     pub fn default_level(self) -> Level {
         match self {
             Rule::FloatFoldOrder => Level::Warn,
@@ -111,6 +130,21 @@ impl Rule {
                  (float addition is non-associative); sort first or use an \
                  order-insensitive reduction"
             }
+            Rule::ProtocolContract => {
+                "the coordination-protocol contract: tracked-request issuers need \
+                 real on_reply/on_give_up bodies, armed timer variants need \
+                 handlers, protocol matches must not wildcard-discard payload \
+                 variants, key-namespace constants must not collide"
+            }
+            Rule::PanicPath => {
+                "unwrap/expect/panic!/unreachable!/indexing in functions reachable \
+                 from on_give_up, crash takeover/restore, or engine dispatch — the \
+                 code chaos tests exercise must not panic"
+            }
+            Rule::UnusedWaiver => {
+                "a gnb-lint waiver whose rule no longer fires on that line; \
+                 delete it so waivers cannot rot"
+            }
             Rule::BadAnnotation => {
                 "a gnb-lint annotation that does not parse as \
                  allow(<rule>, reason = \"...\") with a known rule and nonempty reason"
@@ -134,23 +168,37 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Stable finding ID (see [`crate::report`] for the scheme). Empty
+    /// until [`crate::report::assign_ids`] runs; the workspace pipeline
+    /// always assigns IDs.
+    pub id: String,
 }
 
 /// A parsed `gnb-lint: allow(...)` annotation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Waiver {
-    line: u32,
-    rule: Rule,
+pub struct Waiver {
+    /// 1-based line the annotation sits on (covers this line and the
+    /// next).
+    pub line: u32,
+    /// The waived rule.
+    pub rule: Rule,
 }
 
-/// Scans already-lexed source under `rules`, honouring allow annotations.
-/// `path` is only used to label findings.
-pub fn scan(path: &str, lexed: &Lexed, rules: &[Rule]) -> Vec<Finding> {
+/// Parses every `gnb-lint:` annotation in a lexed file. Returns the valid
+/// waivers plus a `bad-annotation` finding for each malformed one.
+pub fn parse_waivers(path: &str, lexed: &Lexed) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
     let mut findings = Vec::new();
-    let mut waivers: Vec<Waiver> = Vec::new();
     for c in &lexed.comments {
         parse_annotation(path, c, &mut waivers, &mut findings);
     }
+    (waivers, findings)
+}
+
+/// Runs the token-level rule scanners (no waiver application, no
+/// annotation parsing). `path` is only used to label findings.
+pub fn token_findings(path: &str, lexed: &Lexed, rules: &[Rule]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let toks = &lexed.tokens;
     for rule in rules {
         match rule {
@@ -159,17 +207,45 @@ pub fn scan(path: &str, lexed: &Lexed, rules: &[Rule]) -> Vec<Finding> {
             Rule::AmbientEnv => scan_ambient_env(path, toks, &mut findings),
             Rule::AmbientRng => scan_ambient_rng(path, toks, &mut findings),
             Rule::FloatFoldOrder => scan_float_fold(path, toks, &mut findings),
-            Rule::BadAnnotation => {}
+            // Semantic rules are produced by `crate::passes`, and the
+            // meta-rules by annotation parsing / waiver hygiene.
+            Rule::ProtocolContract | Rule::PanicPath | Rule::UnusedWaiver | Rule::BadAnnotation => {
+            }
         }
     }
-    // Apply waivers: a finding is suppressed by an allow for its rule on
-    // the same line or the line directly above.
+    findings
+}
+
+/// Applies waivers to `findings`: a finding is suppressed by an allow for
+/// its rule on the same line or the line directly above. `used[i]` is set
+/// when `waivers[i]` suppresses at least one finding (waiver-hygiene input).
+/// The meta-rules (`bad-annotation`, `unused-waiver`) cannot be waived.
+pub fn apply_waivers(findings: &mut Vec<Finding>, waivers: &[Waiver], used: &mut [bool]) {
     findings.retain(|f| {
-        f.rule == Rule::BadAnnotation
-            || !waivers
-                .iter()
-                .any(|w| w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line))
+        if matches!(f.rule, Rule::BadAnnotation | Rule::UnusedWaiver) {
+            return true;
+        }
+        let mut suppressed = false;
+        for (i, w) in waivers.iter().enumerate() {
+            if w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line) {
+                suppressed = true;
+                if let Some(u) = used.get_mut(i) {
+                    *u = true;
+                }
+            }
+        }
+        !suppressed
     });
+}
+
+/// Scans already-lexed source under `rules`, honouring allow annotations.
+/// The single-file entry point (the workspace pipeline in [`crate::walk`]
+/// adds the semantic passes and waiver hygiene on top).
+pub fn scan(path: &str, lexed: &Lexed, rules: &[Rule]) -> Vec<Finding> {
+    let (waivers, mut findings) = parse_waivers(path, lexed);
+    findings.extend(token_findings(path, lexed, rules));
+    let mut used = vec![false; waivers.len()];
+    apply_waivers(&mut findings, &waivers, &mut used);
     findings.sort_by_key(|f| (f.line, f.col));
     findings
 }
@@ -182,10 +258,15 @@ fn parse_annotation(
     waivers: &mut Vec<Waiver>,
     findings: &mut Vec<Finding>,
 ) {
-    // An annotation must *start* the comment (after doc-comment markers
-    // and whitespace); prose that merely mentions `gnb-lint:` mid-sentence
-    // is not an annotation.
-    let trimmed = c.text.trim_start_matches(['!', '/', ' ', '\t']);
+    // Doc comments (`///`, `//!`, `/**`, `/*!`) *document* the annotation
+    // syntax — they never register as waivers, or every doc example would
+    // count as live suppression.
+    if matches!(c.text.chars().next(), Some('!' | '/' | '*')) {
+        return;
+    }
+    // An annotation must *start* the comment (after whitespace); prose that
+    // merely mentions `gnb-lint:` mid-sentence is not an annotation.
+    let trimmed = c.text.trim_start_matches([' ', '\t']);
     if !trimmed.starts_with("gnb-lint:") {
         return;
     }
@@ -198,6 +279,7 @@ fn parse_annotation(
             line: c.line,
             col: 1,
             message: format!("malformed gnb-lint annotation: {msg}"),
+            id: String::new(),
         });
     };
     let Some(inner) = rest
@@ -258,6 +340,7 @@ fn push(findings: &mut Vec<Finding>, rule: Rule, path: &str, t: &Token, message:
         line: t.line,
         col: t.col,
         message,
+        id: String::new(),
     });
 }
 

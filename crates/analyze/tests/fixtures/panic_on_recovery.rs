@@ -1,0 +1,29 @@
+//! Deliberately broken: the give-up path calls a helper that unwraps,
+//! so exhausting a retry budget aborts the run instead of degrading.
+
+pub struct Fragile {
+    owners: Vec<usize>,
+}
+
+impl Fragile {
+    fn retarget(&mut self, key: u64) -> usize {
+        self.owners.get(key as usize).copied().unwrap()
+    }
+}
+
+impl CoordinationStrategy for Fragile {
+    fn on_start(&mut self, rt: &mut BCtx<'_, '_>) {
+        rt.send_tracked(1, 0, 64, ());
+    }
+
+    fn on_reply(&mut self, rt: &mut BCtx<'_, '_>, key: u64, _p: ()) {
+        rt.note_reply(key);
+    }
+
+    fn on_give_up(&mut self, rt: &mut BCtx<'_, '_>, key: u64) {
+        let dst = self.retarget(key);
+        rt.resend(dst);
+    }
+
+    fn on_barrier(&mut self, _rt: &mut BCtx<'_, '_>, _id: u64) {}
+}

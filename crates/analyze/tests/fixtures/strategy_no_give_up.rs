@@ -1,0 +1,21 @@
+//! Deliberately broken: issues tracked requests but never unwinds an
+//! abandoned one — the `on_give_up` override is missing, so the trait
+//! default's `unreachable!` fires mid-recovery.
+
+pub struct Broken {
+    in_flight: usize,
+}
+
+impl CoordinationStrategy for Broken {
+    fn on_start(&mut self, rt: &mut BCtx<'_, '_>) {
+        self.in_flight += 1;
+        rt.send_tracked(1, 0, 64, ());
+    }
+
+    fn on_reply(&mut self, rt: &mut BCtx<'_, '_>, key: u64, _p: ()) {
+        self.in_flight -= 1;
+        rt.note_reply(key);
+    }
+
+    fn on_barrier(&mut self, _rt: &mut BCtx<'_, '_>, _id: u64) {}
+}

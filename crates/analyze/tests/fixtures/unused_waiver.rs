@@ -1,0 +1,6 @@
+//! A stale waiver: the line it decorates no longer trips any rule.
+
+pub fn settled() -> u64 {
+    // gnb-lint: allow(wall-clock, reason = "was a real clock read before the refactor")
+    42
+}

@@ -59,10 +59,20 @@ fn ambient_rng_bad_and_clean() {
 fn float_fold_bad_and_clean() {
     let bad = scan_fixture("float_fold_bad.rs");
     assert_eq!(rules_of(&bad), vec![Rule::FloatFoldOrder], "{bad:?}");
-    // Warn by default; `--deny-all` promotes it.
-    assert_eq!(bad[0].level, Level::Warn);
+    // Deny inside the determinism core (the fixture scans as
+    // `crates/sim/src/`): accumulation order there *is* the result.
+    assert_eq!(bad[0].level, Level::Deny);
     assert_eq!(bad[0].line, 3);
     assert!(scan_fixture("float_fold_clean.rs").is_empty());
+}
+
+#[test]
+fn float_fold_out_of_scope_outside_the_core() {
+    // Fold order only bakes into *published* results inside the core;
+    // elsewhere the rule is not scanned at all.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/float_fold_bad.rs");
+    let src = std::fs::read_to_string(&path).unwrap();
+    assert!(scan_source("crates/align/src/float_fold_bad.rs", &src).is_empty());
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! End-to-end fixture tests for the parser-backed semantic passes: the
+//! full `scan_sources` pipeline (lex → parse → index → passes → waivers
+//! → IDs) over deliberately broken sources placed at determinism-core
+//! paths, exactly as `scan_workspace` would see them.
+
+use gnb_analyze::rules::Rule;
+use gnb_analyze::walk::scan_sources;
+use gnb_analyze::{Level, Report};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Scans a fixture as if it lived in `crates/core/src/` (semantic scope).
+fn scan_core(name: &str) -> Report {
+    scan_sources(&[(format!("crates/core/src/{name}"), fixture(name))])
+}
+
+#[test]
+fn strategy_dropping_on_give_up_is_denied() {
+    let report = scan_core("strategy_no_give_up.rs");
+    let contract: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::ProtocolContract)
+        .collect();
+    assert!(
+        contract
+            .iter()
+            .any(|f| f.message.contains("on_give_up") && f.message.contains("send_tracked")),
+        "missing give-up hook must be reported:\n{}",
+        report.render_human()
+    );
+    // The acceptance gate: this escapes no one — it is deny out of the
+    // box, not something `--deny-all` has to promote.
+    assert!(contract.iter().all(|f| f.level == Level::Deny));
+}
+
+#[test]
+fn panic_reachable_from_give_up_is_denied_with_chain() {
+    let report = scan_core("panic_on_recovery.rs");
+    let panics: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicPath)
+        .collect();
+    assert!(
+        panics
+            .iter()
+            .any(|f| f.message.contains("unwrap") && f.message.contains("retarget")),
+        "the unwrap inside the helper must be attributed through the call \
+         chain:\n{}",
+        report.render_human()
+    );
+    assert!(panics.iter().all(|f| f.level == Level::Deny));
+}
+
+#[test]
+fn stale_waiver_is_denied() {
+    let report = scan_core("unused_waiver.rs");
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnusedWaiver)
+        .collect();
+    assert_eq!(stale.len(), 1, "{}", report.render_human());
+    assert_eq!(stale[0].level, Level::Deny);
+    assert!(stale[0].message.contains("wall-clock"));
+}
+
+#[test]
+fn semantic_passes_skip_non_semantic_paths() {
+    // The same broken strategy in a crate outside the semantic scope is
+    // not audited: the passes reason about the runtime's own protocol.
+    let report = scan_sources(&[(
+        "crates/genome/src/strategy_no_give_up.rs".to_string(),
+        fixture("strategy_no_give_up.rs"),
+    )]);
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule != Rule::ProtocolContract && f.rule != Rule::PanicPath),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn finding_ids_survive_line_shifts() {
+    // Prepending a comment block shifts every line; the IDs must not move
+    // with them, or the baseline ratchet would churn on every refactor.
+    let src = fixture("strategy_no_give_up.rs");
+    let shifted = format!("// one\n// two\n// three\n{src}");
+    let a = scan_core("strategy_no_give_up.rs");
+    let b = scan_sources(&[(
+        "crates/core/src/strategy_no_give_up.rs".to_string(),
+        shifted,
+    )]);
+    let ids = |r: &Report| {
+        let mut v: Vec<String> = r.findings.iter().map(|f| f.id.clone()).collect();
+        v.sort();
+        v
+    };
+    assert!(!a.findings.is_empty());
+    assert_eq!(ids(&a), ids(&b));
+}
+
+#[test]
+fn waiver_clears_a_semantic_finding() {
+    // A reasoned waiver on the flagged line silences exactly that
+    // finding — and only that finding.
+    let src = fixture("panic_on_recovery.rs");
+    let waived = src.replace(
+        "        self.owners.get(key as usize).copied().unwrap()",
+        "        // gnb-lint: allow(panic-path, reason = \"fixture: waiver plumbing test\")\n        \
+         self.owners.get(key as usize).copied().unwrap()",
+    );
+    assert_ne!(src, waived, "the replace target must exist");
+    let report = scan_sources(&[("crates/core/src/panic_on_recovery.rs".to_string(), waived)]);
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::PanicPath),
+        "{}",
+        report.render_human()
+    );
+}

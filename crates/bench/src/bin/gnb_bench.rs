@@ -40,7 +40,6 @@ use gnb_sim::{Engine, NetParams, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
-// gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -190,7 +189,6 @@ fn fp_rate_scalar(target: u64) -> f64 {
     let (a, b) = fp_pair();
     let sc = ScoringScheme::DEFAULT;
     let mut al = XDropAligner::new();
-    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
     let start = Instant::now();
     let mut cells = 0u64;
     while cells < target {
@@ -208,7 +206,6 @@ fn fp_rate_packed(target: u64) -> f64 {
     );
     let sc = ScoringScheme::DEFAULT;
     let mut al = PackedXDropAligner::new();
-    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
     let start = Instant::now();
     let mut cells = 0u64;
     while cells < target {
@@ -401,7 +398,6 @@ fn queue_rate_arena(ops: usize) -> f64 {
             },
         );
     }
-    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
     let start = Instant::now();
     for i in 0..ops {
         let t = (QUEUE_BACKLOG + i) as u64;
@@ -428,7 +424,6 @@ fn queue_rate_legacy(ops: usize) -> f64 {
             },
         );
     }
-    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
     let start = Instant::now();
     for i in 0..ops {
         let t = (QUEUE_BACKLOG + i) as u64;
@@ -481,7 +476,6 @@ impl Program<RingMsg> for Ring {
 
 fn ring_events_per_sec(ranks: usize, hops: u32) -> f64 {
     let mut progs: Vec<Ring> = (0..ranks).map(|_| Ring { start_hops: hops }).collect();
-    // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
     let start = Instant::now();
     let report = Engine::new(ranks, NetParams::default())
         .with_event_capacity(4 * ranks)
@@ -524,7 +518,6 @@ fn bench_sim(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
         "events/s",
         cfg.reps,
         || {
-            // gnb-lint: allow(wall-clock, reason = "benchmark harness: measuring the real host clock is the whole point")
             let start = Instant::now();
             let res = run_sim(&sw, &m, Algorithm::Async, &run_cfg);
             res.events as f64 / start.elapsed().as_secs_f64().max(1e-9)
@@ -549,7 +542,6 @@ fn bench_sim(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
 // ---------------------------------------------------------------------------
 
 fn main() {
-    // gnb-lint: allow(ambient-env, reason = "CLI flag parsing for the benchmark binary; no simulated result depends on it")
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = Cfg::new(quick);
     println!(

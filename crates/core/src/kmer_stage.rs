@@ -109,18 +109,22 @@ pub enum KmerStageMsg {}
 
 impl Program<KmerStageMsg> for KmerStageRankProg {
     fn on_start(&mut self, ctx: &mut Ctx<'_, KmerStageMsg>) {
+        // gnb-lint: allow(panic-path, reason = "self.rank < nranks is established at stage construction and never changes")
         ctx.advance(self.plan.per_rank[self.rank].extract, TimeCategory::Compute);
         ctx.barrier_enter(0);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, KmerStageMsg>, _src: usize, _msg: KmerStageMsg) {
-        unreachable!("stage 2 communicates only through the collective");
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, KmerStageMsg>, _src: usize, msg: KmerStageMsg) {
+        // KmerStageMsg is uninhabited: the empty match proves, rather than
+        // asserts, that stage 2 communicates only through the collective.
+        match msg {}
     }
 
     fn on_barrier(&mut self, ctx: &mut Ctx<'_, KmerStageMsg>, id: u64) {
         ctx.classify_idle(TimeCategory::Sync);
         if id == 0 {
             ctx.advance(self.plan.exchange, TimeCategory::Comm);
+            // gnb-lint: allow(panic-path, reason = "self.rank < nranks is established at stage construction and never changes")
             ctx.advance(self.plan.per_rank[self.rank].insert, TimeCategory::Compute);
             ctx.barrier_enter(1);
         }

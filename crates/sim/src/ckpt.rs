@@ -111,6 +111,7 @@ impl<'a> CkptReader<'a> {
 
     /// Reads one byte.
     pub fn u8(&mut self) -> u8 {
+        // gnb-lint: allow(panic-path, reason = "take() just asserted end <= buf.len() with a truncation diagnostic, so the one-byte slice is non-empty")
         self.take(1)[0]
     }
 
@@ -121,11 +122,13 @@ impl<'a> CkptReader<'a> {
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> u32 {
+        // gnb-lint: allow(panic-path, reason = "take(4) either asserts with a truncation diagnostic or returns exactly 4 bytes, so the array conversion cannot fail")
         u32::from_le_bytes(self.take(4).try_into().unwrap())
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> u64 {
+        // gnb-lint: allow(panic-path, reason = "take(8) either asserts with a truncation diagnostic or returns exactly 8 bytes, so the array conversion cannot fail")
         u64::from_le_bytes(self.take(8).try_into().unwrap())
     }
 
@@ -295,6 +298,7 @@ impl CkptStore {
     /// # Panics
     /// Panics if the epoch does not increase (checkpoints are monotone).
     pub fn record(&mut self, rank: usize, epoch: u64, at: SimTime, bytes: Vec<u8>) {
+        // gnb-lint: allow(panic-path, reason = "rank ids come from the engine; latest has one slot per rank by construction")
         if let Some(prev) = &self.latest[rank] {
             assert!(
                 epoch > prev.epoch,
@@ -304,6 +308,7 @@ impl CkptStore {
         }
         self.writes += 1;
         self.bytes_written += bytes.len() as u64;
+        // gnb-lint: allow(panic-path, reason = "rank ids come from the engine; latest has one slot per rank by construction")
         self.latest[rank] = Some(CkptRecord {
             rank,
             epoch,
@@ -314,6 +319,7 @@ impl CkptStore {
 
     /// The most recent checkpoint from `rank`, if it ever took one.
     pub fn latest(&self, rank: usize) -> Option<&CkptRecord> {
+        // gnb-lint: allow(panic-path, reason = "rank ids come from the engine; latest has one slot per rank by construction")
         self.latest[rank].as_ref()
     }
 }

@@ -211,6 +211,7 @@ impl<'a, M> Ctx<'a, M> {
         let cat = self.scope.unwrap_or(cat);
         let start = self.now;
         self.now += dt;
+        // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
         self.core.ledger[self.rank][cat as usize] += dt;
         if let Some(trace) = &mut self.core.trace {
             trace.record(self.rank, start, self.now, cat);
@@ -229,6 +230,7 @@ impl<'a, M> Ctx<'a, M> {
                 let excess = SimTime::from_secs_f64(dt.as_secs_f64() * (factor - 1.0));
                 let slow_start = self.now;
                 self.now += excess;
+                // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
                 self.core.ledger[self.rank][TimeCategory::Recovery as usize] += excess;
                 self.core.fault_stats.straggler_excess += excess;
                 if let Some(trace) = &mut self.core.trace {
@@ -261,6 +263,7 @@ impl<'a, M> Ctx<'a, M> {
     /// per handler; later calls book zero.
     pub fn classify_idle(&mut self, cat: TimeCategory) {
         let dt = std::mem::take(&mut self.idle_pending);
+        // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
         self.core.ledger[self.rank][cat as usize] += dt;
     }
 
@@ -678,9 +681,12 @@ impl<M> Engine<M> {
                 if is_rebirth {
                     // The reborn incarnation starts idle: it serves new
                     // traffic but nothing survives from before the crash.
+                    // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
                     self.core.dead[rank] = false;
+                    // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
                     self.core.busy_until[rank] = self.core.busy_until[rank].max(ev.time);
                 } else {
+                    // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
                     self.core.dead[rank] = true;
                     self.core.fault_stats.crashes += 1;
                     if let Some(obs) = &mut self.core.obs {
@@ -691,6 +697,7 @@ impl<M> Engine<M> {
                     let ids: Vec<u64> = self.core.barriers.keys().copied().collect();
                     let required = self.core.required_ranks(ev.time);
                     for id in ids {
+                        // gnb-lint: allow(panic-path, reason = "id was collected from barriers.keys() in this same iteration and nothing removes it in between")
                         let st = &self.core.barriers[&id];
                         if st.entered >= required {
                             let max_entry = st.max_entry;
@@ -702,11 +709,13 @@ impl<M> Engine<M> {
                 continue;
             }
             // Events addressed to a dead rank are discarded, not dispatched.
+            // gnb-lint: allow(panic-path, reason = "every event's dst was bounds-checked against nranks when it was pushed")
             if self.core.dead[r] {
                 let _ = self.core.queue.resolve(ev);
                 self.core.fault_stats.crash_events_dropped += 1;
                 continue;
             }
+            // gnb-lint: allow(panic-path, reason = "every event's dst was bounds-checked against nranks when it was pushed")
             let busy = self.core.busy_until[r];
             if busy > ev.time {
                 // A deferral that would carry the event across the rank's
@@ -738,13 +747,16 @@ impl<M> Engine<M> {
                 if let Some(thaw) = f.stall_until(r, at) {
                     if thaw > at {
                         let frozen = thaw - at;
+                        // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
                         self.core.ledger[r][TimeCategory::Recovery as usize] += frozen;
                         self.core.fault_stats.stall_events += 1;
                         self.core.fault_stats.stall_time += frozen;
                         if let Some(trace) = &mut self.core.trace {
                             trace.record(r, at, thaw, TimeCategory::Recovery);
                         }
+                        // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
                         self.core.busy_until[r] = thaw;
+                        // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
                         self.core.finish[r] = self.core.finish[r].max(thaw);
                         let new_seq = self.core.queue.requeue(ev, thaw);
                         if let Some(obs) = &mut self.core.obs {
@@ -775,17 +787,23 @@ impl<M> Engine<M> {
                 scope: None,
             };
             match payload {
+                // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
                 EventPayload::Start => programs[r].on_start(&mut ctx),
+                // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
                 EventPayload::Message { src, msg } => programs[r].on_message(&mut ctx, src, msg),
+                // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
                 EventPayload::BarrierDone { id } => programs[r].on_barrier(&mut ctx, id),
             }
             let end = ctx.now;
             let leftover_idle = ctx.idle_pending;
+            // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
             self.core.unclassified_idle[r] += leftover_idle;
             if let Some(obs) = &mut self.core.obs {
                 obs.end_dispatch(end);
             }
+            // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
             self.core.busy_until[r] = end;
+            // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
             self.core.finish[r] = self.core.finish[r].max(end);
             self.core.events_processed += 1;
         }
@@ -815,8 +833,11 @@ impl<M> Engine<M> {
             obs: self.core.obs.take(),
             ranks: (0..self.core.nranks)
                 .map(|r| RankReport {
+                    // gnb-lint: allow(panic-path, reason = "the report loop iterates 0..nranks over vectors sized nranks at construction")
                     finish: self.core.finish[r],
+                    // gnb-lint: allow(panic-path, reason = "the report loop iterates 0..nranks over vectors sized nranks at construction")
                     ledger: self.core.ledger[r],
+                    // gnb-lint: allow(panic-path, reason = "the report loop iterates 0..nranks over vectors sized nranks at construction")
                     unclassified_idle: self.core.unclassified_idle[r],
                     mem_peak: self.core.mem.peak(r),
                 })

@@ -254,6 +254,7 @@ impl<M> EventQueue<M> {
     /// Returns the fresh sequence number.
     pub fn requeue(&mut self, ev: QueuedEvent, time: SimTime) -> u64 {
         debug_assert!(
+            // gnb-lint: allow(panic-path, reason = "a popped entry's slot index was minted by push_slot into the same slots vector and slots never shrinks")
             self.slots[ev.slot as usize].is_some(),
             "requeueing a resolved event"
         );
@@ -262,8 +263,10 @@ impl<M> EventQueue<M> {
 
     /// Takes a popped event's payload and recycles its slot.
     pub fn resolve(&mut self, ev: QueuedEvent) -> EventPayload<M> {
+        // gnb-lint: allow(panic-path, reason = "a popped entry's slot index was minted by push_slot into the same slots vector and slots never shrinks")
         let p = self.slots[ev.slot as usize]
             .take()
+            // gnb-lint: allow(panic-path, reason = "the queue hands each popped entry out exactly once; resolving twice is queue corruption and must abort deterministically")
             .expect("resolving an event twice");
         self.free.push(ev.slot);
         p

@@ -320,6 +320,7 @@ impl CrashPlan {
     pub fn successor(&self, dead: usize, nranks: usize) -> usize {
         let survivors = self.survivors(nranks);
         assert!(!survivors.is_empty(), "takeover needs a surviving rank");
+        // gnb-lint: allow(panic-path, reason = "successor() is called only for planned crashes, whose entries were validated when the plan was installed")
         survivors[dead % survivors.len()]
     }
 }

@@ -438,6 +438,7 @@ impl Obs {
     /// The current handler returned at virtual `end`.
     pub fn end_dispatch(&mut self, end: SimTime) {
         if self.cur_node != NO_NODE {
+            // gnb-lint: allow(panic-path, reason = "guarded by the NO_NODE sentinel check; any other cur_node was minted by begin_dispatch as a nodes index")
             self.nodes[self.cur_node as usize].end = end;
         }
         self.cur_node = NO_NODE;
@@ -492,6 +493,7 @@ impl Obs {
     /// Adds `delta` to a cumulative counter and samples the new total.
     pub fn counter_add(&mut self, metric: MetricId, rank: u32, time: SimTime, delta: u64) {
         let idx = self.series_slot(metric, rank);
+        // gnb-lint: allow(panic-path, reason = "series_slot() just returned idx as a valid index into series, creating the slot if needed")
         let s = &mut self.series[idx];
         s.current += delta;
         let v = s.current;
@@ -503,6 +505,7 @@ impl Obs {
     /// e.g. a hand-built partial trace — cannot panic).
     pub fn gauge_add(&mut self, metric: MetricId, rank: u32, time: SimTime, delta: i64) {
         let idx = self.series_slot(metric, rank);
+        // gnb-lint: allow(panic-path, reason = "series_slot() just returned idx as a valid index into series, creating the slot if needed")
         let s = &mut self.series[idx];
         s.current = s.current.saturating_add_signed(delta);
         let v = s.current;
@@ -512,6 +515,7 @@ impl Obs {
     /// Sets a gauge to `value` and samples it.
     pub fn gauge_set(&mut self, metric: MetricId, rank: u32, time: SimTime, value: u64) {
         let idx = self.series_slot(metric, rank);
+        // gnb-lint: allow(panic-path, reason = "series_slot() just returned idx as a valid index into series, creating the slot if needed")
         self.series[idx].current = value;
         self.push_sample(idx, time, value);
     }
@@ -549,6 +553,7 @@ impl Obs {
 
     fn push_sample(&mut self, idx: usize, time: SimTime, value: u64) {
         let max = self.cfg.max_samples_per_series;
+        // gnb-lint: allow(panic-path, reason = "push_sample is only called with indexes series_slot() minted")
         let s = &mut self.series[idx];
         if let Some(last) = s.samples.last_mut() {
             if last.0 == time {

@@ -157,6 +157,7 @@ impl RaceDetector {
     pub fn begin_event(&mut self, rank: usize, time: SimTime, seq: u64) {
         if let Some((open_time, _)) = self.open.get(&rank) {
             if *open_time != time {
+                // gnb-lint: allow(panic-path, reason = "the get() on the line above proved the entry exists and nothing runs in between")
                 let (t, accesses) = self.open.remove(&rank).expect("checked above");
                 self.close_group(rank, t, accesses);
             }
@@ -204,11 +205,14 @@ impl RaceDetector {
         let mut i = 0;
         while i < accesses.len() {
             let mut j = i + 1;
+            // gnb-lint: allow(panic-path, reason = "the loop condition bounds j by accesses.len() before each access")
             while j < accesses.len() && accesses[j].key == accesses[i].key {
                 j += 1;
             }
+            // gnb-lint: allow(panic-path, reason = "i < j <= accesses.len() by the loop structure, so the slice bounds hold")
             let group = &accesses[i..j];
             for (x, a) in group.iter().enumerate() {
+                // gnb-lint: allow(panic-path, reason = "x indexes group, so x + 1 is a valid (possibly empty) tail slice start")
                 for b in &group[x + 1..] {
                     if (a.write || b.write) && a.seq != b.seq {
                         self.push_record(rank, time, *a, *b);
