@@ -39,6 +39,12 @@ pub enum Rule {
     AmbientRng,
     /// `fold` accumulating a float in source order.
     FloatFoldOrder,
+    /// `std::thread` / `Mutex` / `Atomic*` / channels outside the approved
+    /// parallel-engine module. Shared-state concurrency anywhere else makes
+    /// effect order scheduler-dependent, which breaks the bit-identical
+    /// replay contract; the one sanctioned module funnels every shared
+    /// effect through a deterministic merge.
+    ThreadPrimitives,
     /// Coordination-protocol contract violation (semantic pass): a strategy
     /// issuing tracked requests without real `on_reply`/`on_give_up`
     /// bodies, an armed timer variant nobody handles, a wildcard arm
@@ -57,12 +63,13 @@ pub enum Rule {
 
 /// All auditable rules (excludes the meta-rules [`Rule::BadAnnotation`]
 /// and [`Rule::UnusedWaiver`], which are always on and cannot be waived).
-pub const AUDIT_RULES: [Rule; 7] = [
+pub const AUDIT_RULES: [Rule; 8] = [
     Rule::UnorderedCollections,
     Rule::WallClock,
     Rule::AmbientEnv,
     Rule::AmbientRng,
     Rule::FloatFoldOrder,
+    Rule::ThreadPrimitives,
     Rule::ProtocolContract,
     Rule::PanicPath,
 ];
@@ -86,6 +93,7 @@ impl Rule {
             Rule::AmbientEnv => "ambient-env",
             Rule::AmbientRng => "ambient-rng",
             Rule::FloatFoldOrder => "float-fold-order",
+            Rule::ThreadPrimitives => "thread-primitives",
             Rule::ProtocolContract => "protocol-contract",
             Rule::PanicPath => "panic-path",
             Rule::UnusedWaiver => "unused-waiver",
@@ -129,6 +137,12 @@ impl Rule {
                 "folding f64 in source order bakes traversal order into the sum \
                  (float addition is non-associative); sort first or use an \
                  order-insensitive reduction"
+            }
+            Rule::ThreadPrimitives => {
+                "std::thread / Mutex / RwLock / Condvar / mpsc / Atomic* outside the \
+                 approved parallel-engine module (crates/sim/src/par.rs): shared-state \
+                 concurrency makes effect order scheduler-dependent, breaking \
+                 bit-identical replay"
             }
             Rule::ProtocolContract => {
                 "the coordination-protocol contract: tracked-request issuers need \
@@ -207,6 +221,7 @@ pub fn token_findings(path: &str, lexed: &Lexed, rules: &[Rule]) -> Vec<Finding>
             Rule::AmbientEnv => scan_ambient_env(path, toks, &mut findings),
             Rule::AmbientRng => scan_ambient_rng(path, toks, &mut findings),
             Rule::FloatFoldOrder => scan_float_fold(path, toks, &mut findings),
+            Rule::ThreadPrimitives => scan_thread_primitives(path, toks, &mut findings),
             // Semantic rules are produced by `crate::passes`, and the
             // meta-rules by annotation parsing / waiver hygiene.
             Rule::ProtocolContract | Rule::PanicPath | Rule::UnusedWaiver | Rule::BadAnnotation => {
@@ -448,6 +463,51 @@ fn scan_ambient_rng(path: &str, toks: &[Token], findings: &mut Vec<Finding>) {
     }
 }
 
+/// Flags shared-state threading primitives: `Mutex`/`RwLock`/`Condvar`,
+/// channel modules (`mpsc`), `Atomic*` types, and `std::thread` paths
+/// (`std::thread::...` or `thread::spawn`-style calls after a use). The
+/// scanner is purely lexical; [`crate::walk`] keeps the rule scoped to the
+/// determinism core and carves out the approved parallel-engine module.
+fn scan_thread_primitives(path: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    const THREAD_FNS: [&str; 6] = ["spawn", "scope", "sleep", "park", "yield_now", "Builder"];
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Mutex" | "RwLock" | "Condvar" | "mpsc" => Some(t.text.as_str()),
+            // `std::thread` anywhere; a bare `thread::` path only when it
+            // targets a known std::thread item (a local module named
+            // `thread` with other items is implausible but possible).
+            "std" if path2(toks, i, "std", "thread") => Some("std::thread"),
+            "thread"
+                if punct_at(toks, i + 1, ':')
+                    && punct_at(toks, i + 2, ':')
+                    && matches!(ident_at(toks, i + 3), Some(f) if THREAD_FNS.contains(&f))
+                    && !(i >= 3 && path2(toks, i - 3, "std", "thread")) =>
+            {
+                Some("thread::")
+            }
+            s if s.starts_with("Atomic") && s.len() > "Atomic".len() => Some(s),
+            _ => None,
+        };
+        if let Some(what) = what {
+            push(
+                findings,
+                Rule::ThreadPrimitives,
+                path,
+                t,
+                format!(
+                    "`{what}` is a shared-state threading primitive; determinism-critical \
+                     code must stay single-threaded outside the approved parallel-engine \
+                     module (effect order becomes scheduler-dependent otherwise)"
+                ),
+            );
+        }
+    }
+}
+
 /// Flags `.fold(<float literal>, ...)` unless the reducer visibly performs
 /// an order-insensitive reduction (`max`/`min`). This is a lexical
 /// heuristic — it cannot prove the iterator unsorted — hence warn-level by
@@ -550,6 +610,47 @@ mod tests {
         // An `env` module of our own, not std's.
         assert!(rules_hit("let v = my::env::thing();").is_empty());
         assert!(rules_hit("let e = env!(\"CARGO_MANIFEST_DIR\");").is_empty());
+    }
+
+    #[test]
+    fn thread_primitives_flagged() {
+        assert_eq!(
+            rules_hit("let m = Mutex::new(0);"),
+            vec!["thread-primitives"]
+        );
+        assert_eq!(
+            rules_hit("use std::sync::{Arc, RwLock};"),
+            vec!["thread-primitives"]
+        );
+        assert_eq!(rules_hit("use std::sync::mpsc;"), vec!["thread-primitives"]);
+        assert_eq!(
+            rules_hit("let c = AtomicU64::new(0);"),
+            vec!["thread-primitives"]
+        );
+        // `std::thread::scope` counts once (the `thread::` arm excludes
+        // paths already counted as `std::thread`).
+        assert_eq!(
+            rules_hit("std::thread::scope(|s| {});"),
+            vec!["thread-primitives"]
+        );
+        assert_eq!(
+            rules_hit("thread::spawn(|| {});"),
+            vec!["thread-primitives"]
+        );
+    }
+
+    #[test]
+    fn thread_primitives_not_overfired() {
+        // Arc alone is fine (shared immutable data is deterministic).
+        assert!(rules_hit("let a = Arc::new(1);").is_empty());
+        // The engine's own virtual barriers are not std::sync::Barrier.
+        assert!(rules_hit("let b = BarrierState::default();").is_empty());
+        // `thread_rng` belongs to ambient-rng, and a lone `thread` ident
+        // (e.g. a variable) is not a primitive.
+        assert_eq!(rules_hit("let r = thread_rng();"), vec!["ambient-rng"]);
+        assert!(rules_hit("let thread = 3; let x = thread + 1;").is_empty());
+        // Strings don't count.
+        assert!(rules_hit(r#"let s = "Mutex poisoning";"#).is_empty());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Parallel-engine determinism experiment: the sharded
+//! conservative-parallel DES engine against its serial reference, across
+//! coordination strategies and failure scenarios, on a multi-node layout.
+//!
+//! The engine's contract (see `DESIGN.md`, "Parallel engine") is that
+//! shard count is *invisible* in every simulation output: same
+//! `SimReport`, same task checksum, same fault and recovery counters, at
+//! any `threads`. This binary is the executable form of that claim — CI
+//! runs it in quick mode and fails the build on the first diverging cell.
+//!
+//! Grid: scenario (clean / message faults / mid-run crash with takeover)
+//! x strategy (BSP, async, agg-async) x shard count. For every cell the
+//! full `RunResult` is compared against the serial run of the same
+//! configuration; the TSV records the end time, event count, checksum and
+//! wall-clock so the (single-host) scaling story is inspectable. Exit
+//! code is the gate: any mismatch, or a scenario where serial and
+//! parallel disagree about *failing*, exits 1.
+//!
+//! `--quick` trims the shard counts to {2, 8} and halves the scale for
+//! CI smoke use.
+
+use gnb_bench::{banner, cli_args, load_workload, write_tsv};
+use gnb_core::driver::{try_run_sim, Algorithm, CrashResponse, RunConfig, RunResult};
+use gnb_sim::ckpt::CkptParams;
+use gnb_sim::fault::{CrashPlan, FaultConfig};
+use std::time::Instant;
+
+/// Shard counts swept in the full grid (`--quick` keeps 2 and 8: one
+/// node-aligned split, one rank-granularity split on 16 ranks x 2 nodes).
+const THREADS_FULL: [usize; 4] = [1, 2, 4, 8];
+const THREADS_QUICK: [usize; 2] = [2, 8];
+
+struct Scenario {
+    name: &'static str,
+    cfg: RunConfig,
+}
+
+fn scenarios(baseline_end_ns: u64, nranks: usize) -> Vec<Scenario> {
+    let faults = FaultConfig {
+        seed: 7,
+        drop_prob: 0.02,
+        delay_prob: 0.1,
+        delay_ns: 300_000,
+        ..FaultConfig::default()
+    };
+    // The crash lands squarely mid-run (calibrated off the crash-free
+    // baseline, as `expt_crash` does) so takeover recovery actually runs:
+    // the strategies only handle crashes that strike while the run is in
+    // flight.
+    let crash = CrashPlan::seeded(
+        7,
+        nranks,
+        2,
+        baseline_end_ns / 4,
+        baseline_end_ns * 3 / 5,
+        None,
+    );
+    vec![
+        Scenario {
+            name: "clean",
+            cfg: RunConfig::default(),
+        },
+        Scenario {
+            name: "faults",
+            cfg: RunConfig {
+                fault: faults,
+                rpc_max_retries: 24,
+                ..RunConfig::default()
+            },
+        },
+        Scenario {
+            name: "crash_takeover",
+            cfg: RunConfig {
+                crash,
+                crash_response: CrashResponse::Takeover,
+                crash_detect_ns: (baseline_end_ns / 100).max(1),
+                ckpt: CkptParams {
+                    interval_ns: (baseline_end_ns / 16).max(1),
+                    ..CkptParams::default()
+                },
+                rpc_max_retries: 24,
+                ..RunConfig::default()
+            },
+        },
+    ]
+}
+
+/// Canonical comparison form: the whole `RunResult` — timelines, ledgers,
+/// fault and recovery counters, checksums, event counts — via its `Debug`
+/// rendering, which covers every field.
+fn fingerprint(r: &Result<RunResult, gnb_core::driver::RunError>) -> String {
+    match r {
+        Ok(res) => format!("ok:{res:?}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args = cli_args();
+    if args.scale.is_none() {
+        args.scale = Some(if quick { 512 } else { 256 });
+    }
+    let w = load_workload("ecoli_30x", &args);
+    let machine = w.machine(2).with_cores_per_node(8);
+    let sim = w.prepare(machine.nranks());
+    banner(&format!(
+        "Parallel-engine determinism: E. coli 30x (scale {}, {} tasks, {} ranks, 2 nodes){}",
+        w.scale,
+        sim.total_tasks,
+        machine.nranks(),
+        if quick { " [quick]" } else { "" }
+    ));
+
+    let baseline_end_ns = try_run_sim(&sim, &machine, Algorithm::Bsp, &RunConfig::default())
+        .expect("crash-free baseline")
+        .report
+        .end_time
+        .as_ns();
+    let threads: &[usize] = if quick { &THREADS_QUICK } else { &THREADS_FULL };
+
+    println!(
+        "{:<15} {:<8} {:>7} {:>9} {:>12} {:>8} {:>9}",
+        "scenario", "algo", "threads", "status", "end_ns", "wall_ms", "identical"
+    );
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for sc in scenarios(baseline_end_ns, machine.nranks()) {
+        for algo in Algorithm::ALL {
+            let serial_cfg = RunConfig {
+                threads: 1,
+                ..sc.cfg.clone()
+            };
+            let t0 = Instant::now();
+            let serial = try_run_sim(&sim, &machine, algo, &serial_cfg);
+            let serial_wall = t0.elapsed().as_secs_f64() * 1e3;
+            let serial_fp = fingerprint(&serial);
+            for &t in threads {
+                let par_cfg = RunConfig {
+                    threads: t,
+                    ..sc.cfg.clone()
+                };
+                let t0 = Instant::now();
+                let par = try_run_sim(&sim, &machine, algo, &par_cfg);
+                let wall = t0.elapsed().as_secs_f64() * 1e3;
+                let identical = fingerprint(&par) == serial_fp;
+                let (status, end_ns, events, checksum) = match &par {
+                    Ok(r) => ("ok", r.report.end_time.as_ns(), r.events, r.task_checksum),
+                    Err(_) => ("failed", 0, 0, 0),
+                };
+                println!(
+                    "{:<15} {:<8} {:>7} {:>9} {:>12} {:>8.1} {:>9}",
+                    sc.name,
+                    algo.to_string(),
+                    t,
+                    status,
+                    end_ns,
+                    wall,
+                    identical
+                );
+                rows.push(format!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{}",
+                    sc.name,
+                    algo,
+                    t,
+                    status,
+                    end_ns,
+                    events,
+                    checksum,
+                    serial_wall,
+                    wall,
+                    identical
+                ));
+                if !identical {
+                    failures.push(format!(
+                        "{} / {} at threads={}: diverged from serial",
+                        sc.name, algo, t
+                    ));
+                }
+            }
+        }
+    }
+
+    let header = "scenario\talgo\tthreads\tstatus\tend_ns\tevents\tchecksum\t\
+                  serial_wall_ms\twall_ms\tidentical";
+    write_tsv("parallel_determinism.tsv", header, &rows);
+
+    if failures.is_empty() {
+        println!(
+            "\nall {} cells byte-identical to their serial reference",
+            rows.len()
+        );
+    } else {
+        eprintln!("\nDETERMINISM FAILURES:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,15 @@
 //! `gnb-bench`: the repository's performance regression harness.
 //!
 //! Criterion in this workspace is an offline stub, so this binary rolls its
-//! own measurement discipline: every benchmark does a warm-up pass, then
-//! `reps` timed samples, and reports the **median** (the host is shared and
-//! noisy; medians are robust to a single preempted sample). Ratios between
-//! kernels are always computed from samples taken in the same process run,
-//! which is the stable quantity even when absolute rates drift with host
-//! load.
+//! own measurement discipline: every benchmark runs `warmup` discarded
+//! passes (page-in, frequency settling, branch-predictor training), then
+//! `reps` timed samples, and reports the **median** plus the **median
+//! absolute deviation** (the host is shared and noisy; medians are robust
+//! to a single preempted sample, and the MAD makes a drifting host visible
+//! in the committed JSON instead of silently widening regressions). Ratios
+//! between kernels are always computed from samples taken in the same
+//! process run, which is the stable quantity even when absolute rates
+//! drift with host load.
 //!
 //! Three benchmark groups, two JSON reports at the repository root:
 //!
@@ -16,8 +19,9 @@
 //!   throughput on a real pipeline candidate set.
 //! * `BENCH_sim.json` — DES event-queue operation rates (arena queue vs an
 //!   in-bench replica of the pre-arena payload-carrying heap), engine
-//!   events/sec on a message-heavy ring program, and an end-to-end async
-//!   coordination run.
+//!   events/sec on a message-heavy ring program, the conservative-parallel
+//!   engine's `engine_parallel_{1,2,4,8}t` shard-scaling series on the
+//!   same ring, and an end-to-end async coordination run.
 //!
 //! The JSON is hand-rolled (no serializer dependency) and kept strictly
 //! valid: CI's `perf-smoke` job parses it with `python3 -m json.tool` and
@@ -49,6 +53,8 @@ use std::time::Instant;
 /// Measurement configuration (full vs `--quick`).
 struct Cfg {
     quick: bool,
+    /// Discarded warm-up passes before the timed samples.
+    warmup: usize,
     /// Timed samples per benchmark (median reported).
     reps: usize,
     /// DP-cell target per kernel sample on the true-overlap pair.
@@ -68,6 +74,7 @@ impl Cfg {
         if quick {
             Cfg {
                 quick,
+                warmup: 1,
                 reps: 3,
                 cells_true: 4_000_000,
                 cells_fp: 400_000,
@@ -78,6 +85,7 @@ impl Cfg {
         } else {
             Cfg {
                 quick,
+                warmup: 2,
                 reps: 7,
                 cells_true: 20_000_000,
                 cells_fp: 2_000_000,
@@ -102,12 +110,31 @@ impl Row {
         s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         s[s.len() / 2]
     }
+
+    /// Median absolute deviation from the median: the robust spread
+    /// statistic matching the robust centre. A preempted sample inflates a
+    /// standard deviation arbitrarily but moves the MAD by at most one
+    /// rank, so a large MAD genuinely means an unstable series.
+    fn mad(&self) -> f64 {
+        let med = self.median();
+        let mut dev: Vec<f64> = self.samples.iter().map(|&s| (s - med).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        dev[dev.len() / 2]
+    }
 }
 
-/// Runs `reps` timed samples of `f` (which returns a rate) after one
-/// warm-up call, collecting them into a [`Row`].
-fn sample<F: FnMut() -> f64>(name: &str, unit: &'static str, reps: usize, mut f: F) -> Row {
-    let _ = f(); // warm-up: page in buffers, settle frequency scaling
+/// Runs `reps` timed samples of `f` (which returns a rate) after `warmup`
+/// discarded passes, collecting them into a [`Row`].
+fn sample<F: FnMut() -> f64>(
+    name: &str,
+    unit: &'static str,
+    warmup: usize,
+    reps: usize,
+    mut f: F,
+) -> Row {
+    for _ in 0..warmup.max(1) {
+        let _ = f(); // discarded: page in buffers, settle frequency scaling
+    }
     let samples: Vec<f64> = (0..reps).map(|_| f()).collect();
     let row = Row {
         name: name.to_string(),
@@ -137,16 +164,18 @@ fn render_json(cfg: &Cfg, rows: &[Row], ratios: &[(String, f64)]) -> String {
         "  \"mode\": \"{}\",\n",
         if cfg.quick { "quick" } else { "full" }
     ));
+    out.push_str(&format!("  \"warmup\": {},\n", cfg.warmup));
     out.push_str(&format!("  \"reps\": {},\n", cfg.reps));
     out.push_str(&format!("  \"avx2\": {},\n", simd_active()));
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let samples: Vec<String> = r.samples.iter().map(|&s| json_num(s)).collect();
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"median\": {}, \"samples\": [{}]}}{}\n",
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"median\": {}, \"mad\": {}, \"samples\": [{}]}}{}\n",
             r.name,
             r.unit,
             json_num(r.median()),
+            json_num(r.mad()),
             samples.join(", "),
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -239,18 +268,34 @@ fn batch_workload(scale: usize) -> (ReadSet, Vec<gnb_align::Candidate>, AlignPar
 fn bench_kernels(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
     println!("== kernels ==");
     let mut rows = vec![
-        sample("xdrop_true_overlap/scalar", "cells/s", cfg.reps, || {
-            measure_cell_rate_for(KernelImpl::Scalar, cfg.cells_true).host_cells_per_sec
-        }),
-        sample("xdrop_true_overlap/packed", "cells/s", cfg.reps, || {
-            measure_cell_rate_for(KernelImpl::Packed, cfg.cells_true).host_cells_per_sec
-        }),
-        sample("xdrop_false_positive/scalar", "cells/s", cfg.reps, || {
-            fp_rate_scalar(cfg.cells_fp)
-        }),
-        sample("xdrop_false_positive/packed", "cells/s", cfg.reps, || {
-            fp_rate_packed(cfg.cells_fp)
-        }),
+        sample(
+            "xdrop_true_overlap/scalar",
+            "cells/s",
+            cfg.warmup,
+            cfg.reps,
+            || measure_cell_rate_for(KernelImpl::Scalar, cfg.cells_true).host_cells_per_sec,
+        ),
+        sample(
+            "xdrop_true_overlap/packed",
+            "cells/s",
+            cfg.warmup,
+            cfg.reps,
+            || measure_cell_rate_for(KernelImpl::Packed, cfg.cells_true).host_cells_per_sec,
+        ),
+        sample(
+            "xdrop_false_positive/scalar",
+            "cells/s",
+            cfg.warmup,
+            cfg.reps,
+            || fp_rate_scalar(cfg.cells_fp),
+        ),
+        sample(
+            "xdrop_false_positive/packed",
+            "cells/s",
+            cfg.warmup,
+            cfg.reps,
+            || fp_rate_packed(cfg.cells_fp),
+        ),
     ];
 
     let (reads, tasks, params) = batch_workload(cfg.scale);
@@ -269,7 +314,7 @@ fn bench_kernels(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
             }
         );
         let p = AlignParams { kernel, ..params };
-        rows.push(sample(&name, "cells/s", cfg.reps, || {
+        rows.push(sample(&name, "cells/s", cfg.warmup, cfg.reps, || {
             let out = align_batch(&reads, &tasks, &p);
             out.total_cells as f64 / out.elapsed.as_secs_f64().max(1e-9)
         }));
@@ -281,6 +326,7 @@ fn bench_kernels(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
     rows.push(sample(
         "align_batch/packed_pairs",
         "pairs/s",
+        cfg.warmup,
         cfg.reps,
         || {
             let out = align_batch(&reads, &tasks, &pairs_params);
@@ -474,11 +520,12 @@ impl Program<RingMsg> for Ring {
     fn on_barrier(&mut self, _ctx: &mut Ctx<'_, RingMsg>, _id: u64) {}
 }
 
-fn ring_events_per_sec(ranks: usize, hops: u32) -> f64 {
+fn ring_events_per_sec(ranks: usize, hops: u32, threads: usize) -> f64 {
     let mut progs: Vec<Ring> = (0..ranks).map(|_| Ring { start_hops: hops }).collect();
     let start = Instant::now();
     let report = Engine::new(ranks, NetParams::default())
         .with_event_capacity(4 * ranks)
+        .with_threads(threads)
         .run(&mut progs);
     report.events as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
@@ -487,21 +534,42 @@ fn bench_sim(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
     println!("== simulator ==");
     let mut rows = Vec::new();
 
-    rows.push(sample("event_queue/arena", "ops/s", cfg.reps, || {
-        queue_rate_arena(cfg.queue_ops)
-    }));
+    rows.push(sample(
+        "event_queue/arena",
+        "ops/s",
+        cfg.warmup,
+        cfg.reps,
+        || queue_rate_arena(cfg.queue_ops),
+    ));
     rows.push(sample(
         "event_queue/legacy_replica",
         "ops/s",
+        cfg.warmup,
         cfg.reps,
         || queue_rate_legacy(cfg.queue_ops),
     ));
     rows.push(sample(
         "engine_ring_64r/events",
         "events/s",
+        cfg.warmup,
         cfg.reps,
-        || ring_events_per_sec(64, cfg.ring_hops),
+        || ring_events_per_sec(64, cfg.ring_hops, 1),
     ));
+
+    // Conservative-parallel engine scaling on the same ring program. Each
+    // shard count produces (by construction, and pinned by the
+    // `parallel_equivalence` suite) the byte-identical report, so the
+    // series isolates pure engine wall-clock: window coordination overhead
+    // at 1 shard-equivalent work, and whatever speedup the host's cores
+    // can actually deliver above that. On a single-core CI runner the
+    // higher thread counts measure overhead, not speedup — the MAD and the
+    // committed host core count make that legible.
+    for threads in [1usize, 2, 4, 8] {
+        let name = format!("engine_parallel_{threads}t/events");
+        rows.push(sample(&name, "events/s", cfg.warmup, cfg.reps, || {
+            ring_events_per_sec(64, cfg.ring_hops, threads)
+        }));
+    }
 
     // End-to-end: the async coordination strategy on a scaled E. coli 30x
     // task graph — the engine under its real message mix.
@@ -516,6 +584,7 @@ fn bench_sim(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
     rows.push(sample(
         "end_to_end_async/events",
         "events/s",
+        cfg.warmup,
         cfg.reps,
         || {
             let start = Instant::now();
@@ -530,10 +599,20 @@ fn bench_sim(cfg: &Cfg) -> (Vec<Row>, Vec<(String, f64)>) {
             .map(|r| r.median())
             .unwrap_or(f64::NAN)
     };
-    let ratios = vec![(
-        "arena_vs_legacy_queue".to_string(),
-        get("event_queue/arena") / get("event_queue/legacy_replica"),
-    )];
+    let ratios = vec![
+        (
+            "arena_vs_legacy_queue".to_string(),
+            get("event_queue/arena") / get("event_queue/legacy_replica"),
+        ),
+        (
+            "parallel_8t_vs_1t".to_string(),
+            get("engine_parallel_8t/events") / get("engine_parallel_1t/events"),
+        ),
+        (
+            "parallel_2t_vs_1t".to_string(),
+            get("engine_parallel_2t/events") / get("engine_parallel_1t/events"),
+        ),
+    ];
     (rows, ratios)
 }
 

@@ -38,6 +38,7 @@ use gnb_sim::engine::TimeCategory;
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
 use std::collections::{BTreeMap, VecDeque};
+// gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
 use std::sync::{Arc, Mutex};
 
 /// Barrier ids (same split-phase/exit pair as plain async).
@@ -187,6 +188,7 @@ impl AggAsyncStrategy {
         machine: &MachineConfig,
         cfg: &RunConfig,
         fault: Arc<FaultPlan>,
+        // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
         ckpt: Option<Arc<Mutex<CkptStore>>>,
     ) -> RankRuntime<AggAsyncStrategy> {
         RankRuntime::with_recovery(

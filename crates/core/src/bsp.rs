@@ -27,6 +27,7 @@ use gnb_sim::coll::{alltoallv_time, CollParams, ExchangeLoad};
 use gnb_sim::engine::TimeCategory;
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
+// gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
 use std::sync::{Arc, Mutex};
 
 /// Precomputed global plan for a BSP run.
@@ -249,6 +250,7 @@ impl BspStrategy {
         machine: &MachineConfig,
         cfg: &RunConfig,
         fault: Arc<FaultPlan>,
+        // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
         ckpt: Option<Arc<Mutex<CkptStore>>>,
     ) -> RankRuntime<BspStrategy> {
         RankRuntime::with_recovery(

@@ -16,6 +16,7 @@ use gnb_sim::fault::{CrashPlan, FaultConfig, FaultStats};
 use gnb_sim::trace::RaceDetector;
 use gnb_sim::{Engine, TieBreak};
 use serde::{Deserialize, Serialize};
+// gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
 use std::sync::{Arc, Mutex};
 
 /// Which coordination code to run.
@@ -141,6 +142,12 @@ pub struct RunConfig {
     /// perturb the timeline (pinned by `tests/observer_invariance.rs`),
     /// but the record buffers cost memory.
     pub obs: bool,
+    /// Worker shards of the conservative-parallel engine (1 = the serial
+    /// reference loop). Any value produces byte-identical reports — the
+    /// parallel mode merge-replays shard effects in exact serial order
+    /// (pinned by `tests/parallel_equivalence.rs`) — so this knob trades
+    /// host cores for wall-clock only.
+    pub threads: usize,
 }
 
 /// Conflict records kept when [`RunConfig::detect_races`] is set.
@@ -195,6 +202,7 @@ impl Default for RunConfig {
             detect_races: false,
             tie_break: TieBreak::Fifo,
             obs: false,
+            threads: 1,
         }
     }
 }
@@ -355,9 +363,11 @@ pub fn try_run_sim(
     // byte-identical to pre-checkpoint builds. The engine is single-
     // threaded, so the mutex never contends — it only satisfies the
     // shared-ownership type.
+    // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
     let ckpt_store: Option<Arc<Mutex<CkptStore>>> = if cfg.crash.is_empty() {
         None
     } else {
+        // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
         Some(Arc::new(Mutex::new(CkptStore::new(nranks))))
     };
     fn mk_engine<M>(
@@ -371,7 +381,9 @@ pub fn try_run_sim(
         // and barrier completion fans out one event per rank. A hint that
         // is too small merely costs a reallocation; the report is
         // identical (see `Engine::with_event_capacity`).
-        let mut engine = Engine::new(nranks, machine.net).with_event_capacity(8 * nranks);
+        let mut engine = Engine::new(nranks, machine.net)
+            .with_event_capacity(8 * nranks)
+            .with_threads(cfg.threads);
         if cfg.trace_capacity > 0 {
             engine = engine.with_trace(cfg.trace_capacity);
         }

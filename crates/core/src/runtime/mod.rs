@@ -46,6 +46,7 @@ use gnb_sim::engine::{Ctx, Program, TimeCategory};
 use gnb_sim::fault::FaultPlan;
 use gnb_sim::obs::InstantKind;
 use gnb_sim::SimTime;
+// gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
 use std::sync::{Arc, Mutex};
 
 /// Base of the namespaced key range used for takeover re-fetches: a
@@ -660,6 +661,7 @@ impl<S: CoordinationStrategy> RankRuntime<S> {
         rank: usize,
         cfg: RuntimeConfig,
         fault: Arc<FaultPlan>,
+        // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
         ckpt_store: Option<Arc<Mutex<CkptStore>>>,
     ) -> RankRuntime<S> {
         RankRuntime {

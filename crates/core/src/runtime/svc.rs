@@ -18,6 +18,7 @@ use gnb_sim::fault::FaultPlan;
 use gnb_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+// gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
 use std::sync::{Arc, Mutex};
 
 /// How a run responds to a detected crash-stop peer failure.
@@ -181,6 +182,7 @@ pub struct RuntimeSvc<Q> {
     pub(crate) failed: Option<RetryFailure>,
     /// Shared stable-storage checkpoint store (None when no crashes are
     /// scheduled — crash-free runs take no checkpoints).
+    // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
     pub(crate) ckpt_store: Option<Arc<Mutex<CkptStore>>>,
     /// This rank's monotone checkpoint epoch counter.
     pub(crate) ckpt_epoch: u64,
@@ -191,6 +193,7 @@ impl<Q> RuntimeSvc<Q> {
         cfg: RuntimeConfig,
         rank: usize,
         fault: Arc<FaultPlan>,
+        // gnb-lint: allow(thread-primitives, reason = "shared checkpoint-store handle predating the parallel engine: the serial engine takes the lock uncontended, and parallel-mode ckpt effects are serialised through the coordinator replay")
         ckpt_store: Option<Arc<Mutex<CkptStore>>>,
     ) -> RuntimeSvc<Q> {
         RuntimeSvc {

@@ -21,11 +21,13 @@
 //! so nothing is silently lost.
 
 use crate::coll::barrier_time;
-use crate::event::{EventPayload, EventQueue, TieBreak};
-use crate::fault::{FaultPlan, FaultStats, RankCrash};
+use crate::event::{EventPayload, EventQueue, QueuedEvent, TieBreak};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::mem::MemTracker;
+use crate::membership::{self, Membership};
 use crate::net::{NetParams, Network};
 use crate::obs::{EdgeKind, InstantKind, MetricId, Obs, ObsConfig, GLOBAL_RANK};
+use crate::par::{self, LaneCtx};
 use crate::stats::Summary;
 use crate::time::SimTime;
 use crate::trace::{RaceDetector, Trace};
@@ -64,93 +66,67 @@ pub trait Program<M> {
 }
 
 #[derive(Debug, Default)]
-struct BarrierState {
-    entered: usize,
-    max_entry: SimTime,
+pub(crate) struct BarrierState {
+    pub(crate) entered: usize,
+    pub(crate) max_entry: SimTime,
 }
 
-/// Engine internals shared with handlers through [`Ctx`].
-struct EngineCore<M> {
-    queue: EventQueue<M>,
-    net: Network,
-    nranks: usize,
-    busy_until: Vec<SimTime>,
-    barriers: BTreeMap<u64, BarrierState>,
-    ledger: Vec<[SimTime; CATEGORIES]>,
-    unclassified_idle: Vec<SimTime>,
-    mem: MemTracker,
-    finish: Vec<SimTime>,
-    events_processed: u64,
-    trace: Option<Trace>,
+/// Engine internals shared with handlers through [`Ctx`], and with the
+/// sharded parallel mode's merge-replay coordinator (`crate::par`).
+pub(crate) struct EngineCore<M> {
+    pub(crate) queue: EventQueue<M>,
+    pub(crate) net: Network,
+    pub(crate) nranks: usize,
+    pub(crate) busy_until: Vec<SimTime>,
+    pub(crate) barriers: BTreeMap<u64, BarrierState>,
+    pub(crate) ledger: Vec<[SimTime; CATEGORIES]>,
+    pub(crate) unclassified_idle: Vec<SimTime>,
+    pub(crate) mem: MemTracker,
+    pub(crate) finish: Vec<SimTime>,
+    pub(crate) events_processed: u64,
+    pub(crate) trace: Option<Trace>,
     /// Fault-injection plan (None = reliable machine).
-    fault: Option<FaultPlan>,
+    pub(crate) fault: Option<FaultPlan>,
     /// Global send sequence number (drives per-message fault decisions).
-    msg_seq: u64,
+    pub(crate) msg_seq: u64,
     /// Per-destination send counters (drive scheduled drops).
-    dst_counts: Vec<u64>,
+    pub(crate) dst_counts: Vec<u64>,
     /// Injected-fault counters.
-    fault_stats: FaultStats,
-    /// Crash-stop liveness flags: `dead[r]` while rank `r` sits inside a
-    /// scheduled death window. Only consulted when the installed
-    /// [`FaultPlan`] carries a non-empty [`crate::fault::CrashPlan`], so
-    /// crash-free runs stay bit-identical.
-    dead: Vec<bool>,
-    /// Engine-internal crash/rebirth mark events: queue seq → (rank,
-    /// is_rebirth). Marks are intercepted before program dispatch, so the
-    /// public [`EventPayload`] enum is unchanged.
-    crash_marks: BTreeMap<u64, (usize, bool)>,
+    pub(crate) fault_stats: FaultStats,
+    /// Crash-stop liveness flags and pending crash/rebirth marks, shared
+    /// with the parallel path (see [`crate::membership`]).
+    pub(crate) membership: Membership,
     /// Virtual-time race detector (None = not detecting).
-    races: Option<RaceDetector>,
+    pub(crate) races: Option<RaceDetector>,
     /// Structured observability recorder (None = not recording).
-    obs: Option<Obs>,
+    pub(crate) obs: Option<Obs>,
 }
 
 impl<M> EngineCore<M> {
-    /// True when the installed fault plan schedules at least one crash.
-    /// Every crash-stop code path is gated on this so that runs without a
-    /// crash plan stay bit-identical to the pre-crash engine.
-    fn crashes_scheduled(&self) -> bool {
-        self.fault.as_ref().is_some_and(|f| !f.crash.is_empty())
-    }
-
-    /// Crash-stop wire semantics: a message (or self-timer) pushed at
-    /// `now` for delivery at `sched` dies on the wire if either endpoint
-    /// is dead at delivery or crosses an incarnation boundary in between —
-    /// in-flight traffic does not survive a crash, and a reborn rank never
-    /// sees its previous incarnation's traffic.
+    /// See [`membership::crash_dooms`].
     fn crash_dooms(&self, src: usize, dst: usize, now: SimTime, sched: SimTime) -> bool {
-        match &self.fault {
-            Some(f) if !f.crash.is_empty() => {
-                let c = &f.crash;
-                c.is_dead(src, sched)
-                    || c.incarnation(src, now) != c.incarnation(src, sched)
-                    || c.is_dead(dst, sched)
-                    || c.incarnation(dst, now) != c.incarnation(dst, sched)
-            }
-            _ => false,
-        }
+        membership::crash_dooms(self.fault.as_ref(), src, dst, now, sched)
     }
 
-    /// Number of ranks a barrier must collect at time `t`: every rank
-    /// whose crash has not fired yet. Crashed ranks are excluded
-    /// *permanently* (crash-stop group membership — a reborn rank serves
-    /// traffic again but never rejoins collectives).
-    fn required_ranks(&self, t: SimTime) -> usize {
-        match &self.fault {
-            Some(f) if !f.crash.is_empty() => (0..self.nranks)
-                .filter(|&r| !f.crash.crashed_by(r, t))
-                .count(),
-            _ => self.nranks,
-        }
+    /// See [`membership::required_ranks`].
+    pub(crate) fn required_ranks(&self, t: SimTime) -> usize {
+        membership::required_ranks(self.fault.as_ref(), self.nranks, t)
     }
 
     /// Releases barrier `id` (already removed from the pending map):
     /// pushes [`EventPayload::BarrierDone`] to every rank still in the
-    /// group at `max(entry times) + α·⌈log₂ P⌉`.
-    fn push_barrier_done(&mut self, id: u64, max_entry: SimTime, push_time: SimTime) {
+    /// group at `max(entry times) + α·⌈log₂ P⌉`. Returns the number of
+    /// events pushed (the parallel replay tracks the serial queue length).
+    pub(crate) fn push_barrier_done(
+        &mut self,
+        id: u64,
+        max_entry: SimTime,
+        push_time: SimTime,
+    ) -> usize {
         let nranks = self.nranks;
         let release = max_entry + barrier_time(self.net.params.alpha_ns, nranks);
-        let crashes = self.crashes_scheduled();
+        let crashes = membership::crashes_scheduled(self.fault.as_ref());
+        let mut pushed = 0;
         for r in 0..nranks {
             if crashes
                 && self
@@ -163,17 +139,193 @@ impl<M> EngineCore<M> {
             let seq = self
                 .queue
                 .push(release, r, EventPayload::BarrierDone { id });
+            pushed += 1;
             if let Some(obs) = &mut self.obs {
                 // Fan-in edge: the cause is the releasing handler.
                 obs.on_push(seq, EdgeKind::Barrier, push_time, release);
             }
         }
+        pushed
     }
+
+    /// Executes one [`Ctx::send`] against the engine core: sequence-number
+    /// and per-destination bookkeeping, fault fate, NIC reservation, queue
+    /// pushes, observability. This is the *only* definition of send
+    /// semantics — the serial context calls it directly; the parallel
+    /// coordinator replays logged sends through it in serial order, so the
+    /// two modes cannot drift. Returns the number of queue pushes (the
+    /// replay tracks the serial queue length).
+    pub(crate) fn exec_send(
+        &mut self,
+        rank: usize,
+        now: SimTime,
+        dst: usize,
+        bytes: u64,
+        msg: M,
+    ) -> usize
+    where
+        M: Clone,
+    {
+        let mut pushed = 0;
+        self.msg_seq += 1;
+        // gnb-lint: allow(panic-path, reason = "dst is a rank id bounds-checked by the program layer; per-rank vectors have nranks entries")
+        self.dst_counts[dst] += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.counter_add(MetricId::BytesSent, GLOBAL_RANK, now, bytes);
+            obs.counter_add(MetricId::MsgsSent, GLOBAL_RANK, now, 1);
+        }
+        let fate = self
+            .fault
+            .as_ref()
+            // gnb-lint: allow(panic-path, reason = "dst_counts[dst] was just incremented above; same bounds argument")
+            .map(|f| f.message_fate(self.msg_seq, dst, self.dst_counts[dst]))
+            .unwrap_or_default();
+        if fate.dropped {
+            // Lost on the wire: the source NIC was still occupied.
+            self.net.tx_time(now, rank, dst, bytes);
+            self.fault_stats.msgs_dropped += 1;
+            if let Some(obs) = &mut self.obs {
+                obs.instant(rank, now, InstantKind::MsgDropped, dst as u64);
+            }
+            return pushed;
+        }
+        if fate.duplicated {
+            // Allocation audit: this is the only payload clone in the
+            // engine. A duplicated message is *two* by-value deliveries —
+            // the receiver gets (and may mutate/consume) two independent
+            // payloads — so one copy is inherent to the fault model, not
+            // queue churn. The reliable path below moves `msg` straight
+            // into a recycled arena slot; deferrals re-queue the slot
+            // index without touching the payload (see `event.rs`).
+            self.fault_stats.msgs_duplicated += 1;
+            let dup_arrival = self.net.delivery_time(now, rank, dst, bytes);
+            let sched = dup_arrival + fate.extra_delay;
+            if self.crash_dooms(rank, dst, now, sched) {
+                // The retransmission copy dies on the wire: the NIC time
+                // was spent, the payload never arrives.
+                self.fault_stats.crash_events_dropped += 1;
+            } else {
+                let seq = self.queue.push(
+                    sched,
+                    dst,
+                    EventPayload::Message {
+                        src: rank,
+                        msg: msg.clone(),
+                    },
+                );
+                pushed += 1;
+                if let Some(obs) = &mut self.obs {
+                    obs.instant(rank, now, InstantKind::MsgDuplicated, dst as u64);
+                    obs.on_push(seq, EdgeKind::Message, now, sched);
+                    obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, now, 1);
+                }
+            }
+        }
+        if fate.extra_delay > SimTime::ZERO {
+            self.fault_stats.msgs_delayed += 1;
+        }
+        let arrival = self.net.delivery_time(now, rank, dst, bytes);
+        let sched = arrival + fate.extra_delay;
+        if self.crash_dooms(rank, dst, now, sched) {
+            // Crash-stop loss: either endpoint dies (or is reborn) before
+            // delivery, so the message fails in flight. The sender already
+            // paid the full NIC occupancy — physically the bytes left.
+            self.fault_stats.crash_events_dropped += 1;
+            return pushed;
+        }
+        let seq = self
+            .queue
+            .push(sched, dst, EventPayload::Message { src: rank, msg });
+        pushed += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.on_push(seq, EdgeKind::Message, now, sched);
+            obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, now, 1);
+        }
+        pushed
+    }
+
+    /// Pushes the self-timer behind an (un-doomed) [`Ctx::after`]. Shared
+    /// by the serial context and the parallel replay.
+    pub(crate) fn exec_after_push(&mut self, rank: usize, now: SimTime, sched: SimTime, msg: M) {
+        let seq = self
+            .queue
+            .push(sched, rank, EventPayload::Message { src: rank, msg });
+        if let Some(obs) = &mut self.obs {
+            obs.on_push(seq, EdgeKind::Timer, now, sched);
+        }
+    }
+
+    /// Executes one (un-guarded) [`Ctx::barrier_enter`] against the global
+    /// barrier map. Shared by the serial context and the parallel replay.
+    /// Returns the number of release events pushed (zero while the barrier
+    /// is still collecting).
+    pub(crate) fn exec_barrier_enter(&mut self, now: SimTime, id: u64) -> usize {
+        let nranks = self.nranks;
+        // Under a crash plan a barrier only waits for ranks whose crash
+        // has not fired yet; without one this is exactly `nranks`.
+        let required = self.required_ranks(now);
+        let st = self.barriers.entry(id).or_default();
+        st.entered += 1;
+        assert!(
+            st.entered <= nranks,
+            "barrier {id} entered more times than there are ranks"
+        );
+        st.max_entry = st.max_entry.max(now);
+        if st.entered >= required {
+            let max_entry = st.max_entry;
+            self.barriers.remove(&id);
+            self.push_barrier_done(id, max_entry, now)
+        } else {
+            0
+        }
+    }
+
+    /// Executes the global effects of a death mark firing at `time`:
+    /// counts the crash, records the observability instant, and releases
+    /// any pending barrier whose remaining entrants just died (or the
+    /// survivors deadlock). The liveness flag itself is rank-local state
+    /// and stays with the caller (the serial loop flips
+    /// `membership.dead`; a parallel lane flips its own copy). Returns
+    /// the number of release events pushed.
+    pub(crate) fn exec_death(&mut self, rank: usize, time: SimTime) -> usize {
+        self.fault_stats.crashes += 1;
+        if let Some(obs) = &mut self.obs {
+            obs.instant(rank, time, InstantKind::Crash, rank as u64);
+        }
+        // A pending barrier whose remaining entrants just died must
+        // release now, or the survivors deadlock.
+        let ids: Vec<u64> = self.barriers.keys().copied().collect();
+        let required = self.required_ranks(time);
+        let mut pushed = 0;
+        for id in ids {
+            // gnb-lint: allow(panic-path, reason = "id was collected from barriers.keys() in this same iteration and nothing removes it in between")
+            let st = &self.barriers[&id];
+            if st.entered >= required {
+                let max_entry = st.max_entry;
+                self.barriers.remove(&id);
+                pushed += self.push_barrier_done(id, max_entry, time);
+            }
+        }
+        pushed
+    }
+}
+
+/// The two execution backends behind [`Ctx`]. Serial handlers mutate the
+/// engine core directly; parallel-mode handlers run inside a rank lane on
+/// a worker shard, mutating only rank-local state and logging every global
+/// effect as an [`crate::par`] action for the coordinator's merge-replay.
+/// Programs cannot observe which backend they run on — that is the whole
+/// bit-identity argument.
+pub(crate) enum CtxCore<'a, M> {
+    /// Reference serial mode: direct mutable access to the engine core.
+    Serial(&'a mut EngineCore<M>),
+    /// Sharded parallel mode: rank-local lane plus an action log.
+    Lane(LaneCtx<'a, M>),
 }
 
 /// Handler context: the engine API available to a running rank.
 pub struct Ctx<'a, M> {
-    core: &'a mut EngineCore<M>,
+    core: CtxCore<'a, M>,
     rank: usize,
     now: SimTime,
     /// Idle gap between the previous handler's end and this handler's
@@ -186,6 +338,36 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Builds a parallel-mode context for one handler dispatch on a worker
+    /// shard (used only by [`crate::par`]).
+    pub(crate) fn for_lane(
+        lane: LaneCtx<'a, M>,
+        rank: usize,
+        now: SimTime,
+        idle_pending: SimTime,
+    ) -> Ctx<'a, M> {
+        Ctx {
+            core: CtxCore::Lane(lane),
+            rank,
+            now,
+            idle_pending,
+            scope: None,
+        }
+    }
+
+    /// Tears a finished dispatch down to `(handler end time, leftover
+    /// unclassified idle)` (used only by [`crate::par`]).
+    pub(crate) fn into_end(self) -> (SimTime, SimTime) {
+        (self.now, self.idle_pending)
+    }
+
+    /// The fault plan, identical under either backend.
+    fn fault(&self) -> Option<&FaultPlan> {
+        match &self.core {
+            CtxCore::Serial(core) => core.fault.as_ref(),
+            CtxCore::Lane(lane) => lane.fault,
+        }
+    }
     /// Current virtual time on this rank.
     pub fn now(&self) -> SimTime {
         self.now
@@ -198,7 +380,10 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Total number of ranks.
     pub fn nranks(&self) -> usize {
-        self.core.nranks
+        match &self.core {
+            CtxCore::Serial(core) => core.nranks,
+            CtxCore::Lane(lane) => lane.nranks,
+        }
     }
 
     /// Consumes `dt` of CPU, booked under `cat`.
@@ -211,33 +396,52 @@ impl<'a, M> Ctx<'a, M> {
         let cat = self.scope.unwrap_or(cat);
         let start = self.now;
         self.now += dt;
-        // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
-        self.core.ledger[self.rank][cat as usize] += dt;
-        if let Some(trace) = &mut self.core.trace {
-            trace.record(self.rank, start, self.now, cat);
-        }
-        if let Some(obs) = &mut self.core.obs {
-            obs.on_advance(self.rank, start, self.now, cat);
+        let end = self.now;
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
+                core.ledger[self.rank][cat as usize] += dt;
+                if let Some(trace) = &mut core.trace {
+                    trace.record(self.rank, start, end, cat);
+                }
+                if let Some(obs) = &mut core.obs {
+                    obs.on_advance(self.rank, start, end, cat);
+                }
+            }
+            CtxCore::Lane(lane) => {
+                // gnb-lint: allow(panic-path, reason = "the lane ledger has CATEGORIES entries and the category index is an enum cast")
+                lane.lane.ledger[cat as usize] += dt;
+                lane.log_advance(start, end, cat);
+            }
         }
         let cpu_bound = matches!(cat, TimeCategory::Compute | TimeCategory::Overhead);
         if cpu_bound && dt > SimTime::ZERO {
             let factor = self
-                .core
-                .fault
-                .as_ref()
+                .fault()
                 .map_or(1.0, |f| f.compute_factor(self.rank, start));
             if factor > 1.0 {
                 let excess = SimTime::from_secs_f64(dt.as_secs_f64() * (factor - 1.0));
                 let slow_start = self.now;
                 self.now += excess;
-                // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
-                self.core.ledger[self.rank][TimeCategory::Recovery as usize] += excess;
-                self.core.fault_stats.straggler_excess += excess;
-                if let Some(trace) = &mut self.core.trace {
-                    trace.record(self.rank, slow_start, self.now, TimeCategory::Recovery);
-                }
-                if let Some(obs) = &mut self.core.obs {
-                    obs.on_advance(self.rank, slow_start, self.now, TimeCategory::Recovery);
+                let slow_end = self.now;
+                match &mut self.core {
+                    CtxCore::Serial(core) => {
+                        // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
+                        core.ledger[self.rank][TimeCategory::Recovery as usize] += excess;
+                        core.fault_stats.straggler_excess += excess;
+                        if let Some(trace) = &mut core.trace {
+                            trace.record(self.rank, slow_start, slow_end, TimeCategory::Recovery);
+                        }
+                        if let Some(obs) = &mut core.obs {
+                            obs.on_advance(self.rank, slow_start, slow_end, TimeCategory::Recovery);
+                        }
+                    }
+                    CtxCore::Lane(lane) => {
+                        // gnb-lint: allow(panic-path, reason = "ledger is a fixed CATEGORIES-sized array indexed by the TimeCategory discriminant")
+                        lane.lane.ledger[TimeCategory::Recovery as usize] += excess;
+                        lane.lane.stats.straggler_excess += excess;
+                        lane.log_advance(slow_start, slow_end, TimeCategory::Recovery);
+                    }
                 }
             }
         }
@@ -263,8 +467,12 @@ impl<'a, M> Ctx<'a, M> {
     /// per handler; later calls book zero.
     pub fn classify_idle(&mut self, cat: TimeCategory) {
         let dt = std::mem::take(&mut self.idle_pending);
-        // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
-        self.core.ledger[self.rank][cat as usize] += dt;
+        match &mut self.core {
+            // gnb-lint: allow(panic-path, reason = "ledger is [nranks][ncats]; rank < nranks by construction and the category index is an enum cast")
+            CtxCore::Serial(core) => core.ledger[self.rank][cat as usize] += dt,
+            // gnb-lint: allow(panic-path, reason = "the lane ledger has CATEGORIES entries and the category index is an enum cast")
+            CtxCore::Lane(lane) => lane.lane.ledger[cat as usize] += dt,
+        }
     }
 
     /// The as-yet-unclassified idle gap for this handler.
@@ -282,81 +490,16 @@ impl<'a, M> Ctx<'a, M> {
     where
         M: Clone,
     {
-        self.core.msg_seq += 1;
-        self.core.dst_counts[dst] += 1;
-        if let Some(obs) = &mut self.core.obs {
-            obs.counter_add(MetricId::BytesSent, GLOBAL_RANK, self.now, bytes);
-            obs.counter_add(MetricId::MsgsSent, GLOBAL_RANK, self.now, 1);
-        }
-        let fate = self
-            .core
-            .fault
-            .as_ref()
-            .map(|f| f.message_fate(self.core.msg_seq, dst, self.core.dst_counts[dst]))
-            .unwrap_or_default();
-        if fate.dropped {
-            // Lost on the wire: the source NIC was still occupied.
-            self.core.net.tx_time(self.now, self.rank, dst, bytes);
-            self.core.fault_stats.msgs_dropped += 1;
-            if let Some(obs) = &mut self.core.obs {
-                obs.instant(self.rank, self.now, InstantKind::MsgDropped, dst as u64);
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                core.exec_send(self.rank, self.now, dst, bytes, msg);
             }
-            return;
-        }
-        if fate.duplicated {
-            // Allocation audit: this is the only payload clone in the
-            // engine. A duplicated message is *two* by-value deliveries —
-            // the receiver gets (and may mutate/consume) two independent
-            // payloads — so one copy is inherent to the fault model, not
-            // queue churn. The reliable path below moves `msg` straight
-            // into a recycled arena slot; deferrals re-queue the slot
-            // index without touching the payload (see `event.rs`).
-            self.core.fault_stats.msgs_duplicated += 1;
-            let dup_arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
-            let sched = dup_arrival + fate.extra_delay;
-            if self.core.crash_dooms(self.rank, dst, self.now, sched) {
-                // The retransmission copy dies on the wire: the NIC time
-                // was spent, the payload never arrives.
-                self.core.fault_stats.crash_events_dropped += 1;
-            } else {
-                let seq = self.core.queue.push(
-                    sched,
-                    dst,
-                    EventPayload::Message {
-                        src: self.rank,
-                        msg: msg.clone(),
-                    },
-                );
-                if let Some(obs) = &mut self.core.obs {
-                    obs.instant(self.rank, self.now, InstantKind::MsgDuplicated, dst as u64);
-                    obs.on_push(seq, EdgeKind::Message, self.now, sched);
-                    obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, self.now, 1);
-                }
-            }
-        }
-        if fate.extra_delay > SimTime::ZERO {
-            self.core.fault_stats.msgs_delayed += 1;
-        }
-        let arrival = self.core.net.delivery_time(self.now, self.rank, dst, bytes);
-        let sched = arrival + fate.extra_delay;
-        if self.core.crash_dooms(self.rank, dst, self.now, sched) {
-            // Crash-stop loss: either endpoint dies (or is reborn) before
-            // delivery, so the message fails in flight. The sender already
-            // paid the full NIC occupancy — physically the bytes left.
-            self.core.fault_stats.crash_events_dropped += 1;
-            return;
-        }
-        let seq = self.core.queue.push(
-            sched,
-            dst,
-            EventPayload::Message {
-                src: self.rank,
-                msg,
-            },
-        );
-        if let Some(obs) = &mut self.core.obs {
-            obs.on_push(seq, EdgeKind::Message, self.now, sched);
-            obs.gauge_add(MetricId::MsgsInFlight, GLOBAL_RANK, self.now, 1);
+            // Everything a send touches is global, order-sensitive state
+            // (send sequence numbers, per-destination counters, NIC
+            // channels, the event queue, fault counters), so the lane logs
+            // the send verbatim and the coordinator replays it — through
+            // the same `exec_send` — in serial order.
+            CtxCore::Lane(lane) => lane.log_send(self.now, dst, bytes, msg),
         }
     }
 
@@ -390,21 +533,25 @@ impl<'a, M> Ctx<'a, M> {
         let sched = self.now + delay;
         // The fault-injection contract keeps self-timers out of the
         // *message* fault plan, but a crash is not a message fault: a
-        // timer dies with the incarnation that armed it.
-        if self.core.crash_dooms(self.rank, self.rank, self.now, sched) {
-            self.core.fault_stats.crash_events_dropped += 1;
+        // timer dies with the incarnation that armed it. The doom
+        // predicate is a pure function of the crash plan, so the lane
+        // evaluates it locally, exactly as the serial loop would.
+        if membership::crash_dooms(self.fault(), self.rank, self.rank, self.now, sched) {
+            match &mut self.core {
+                CtxCore::Serial(core) => core.fault_stats.crash_events_dropped += 1,
+                CtxCore::Lane(lane) => lane.lane.stats.crash_events_dropped += 1,
+            }
             return;
         }
-        let seq = self.core.queue.push(
-            sched,
-            self.rank,
-            EventPayload::Message {
-                src: self.rank,
-                msg,
-            },
-        );
-        if let Some(obs) = &mut self.core.obs {
-            obs.on_push(seq, EdgeKind::Timer, self.now, sched);
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                core.exec_after_push(self.rank, self.now, sched, msg);
+            }
+            // A sub-lookahead timer is consumed inside the window by this
+            // rank's own chain; anything at or past the horizon goes back
+            // to the real queue at replay. Either way the replay allocates
+            // the serial sequence number.
+            CtxCore::Lane(lane) => lane.log_after(self.rank, self.now, sched, msg),
         }
     }
 
@@ -415,57 +562,66 @@ impl<'a, M> Ctx<'a, M> {
     /// blocking rank simply does nothing until `on_barrier`; a split-phase
     /// rank keeps processing messages in between (paper §3.2).
     pub fn barrier_enter(&mut self, id: u64) {
-        let nranks = self.core.nranks;
         // A handler dispatched before the rank's crash can reach this call
         // at a virtual `now` past the crash: the rank died mid-handler and
-        // never made it to the barrier, so the entry does not happen.
-        if self
-            .core
-            .fault
-            .as_ref()
-            .is_some_and(|f| f.crash.crashed_by(self.rank, self.now))
-        {
+        // never made it to the barrier, so the entry does not happen. The
+        // guard is pure, so both backends evaluate it identically.
+        if membership::crashed_by(self.fault(), self.rank, self.now) {
             return;
         }
-        // Under a crash plan a barrier only waits for ranks whose crash
-        // has not fired yet; without one this is exactly `nranks`.
-        let required = self.core.required_ranks(self.now);
-        let st = self.core.barriers.entry(id).or_default();
-        st.entered += 1;
-        assert!(
-            st.entered <= nranks,
-            "barrier {id} entered more times than there are ranks"
-        );
-        st.max_entry = st.max_entry.max(self.now);
-        if st.entered >= required {
-            let max_entry = st.max_entry;
-            self.core.barriers.remove(&id);
-            self.core.push_barrier_done(id, max_entry, self.now);
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                core.exec_barrier_enter(self.now, id);
+            }
+            // The barrier map is global: log the entry, replay in serial
+            // order. A completing entry releases at `max_entry + α·⌈log₂
+            // P⌉ ≥ now + α ≥ horizon` (parallel mode requires `alpha_ns ≥
+            // intra_alpha_ns` and ≥ 2 ranks), so the release events never
+            // land inside the current window.
+            CtxCore::Lane(lane) => lane.log_barrier(self.now, id),
         }
     }
 
     /// Records `bytes` allocated on this rank.
     pub fn mem_alloc(&mut self, bytes: u64) {
-        self.core.mem.alloc(self.rank, bytes);
+        match &mut self.core {
+            CtxCore::Serial(core) => core.mem.alloc(self.rank, bytes),
+            CtxCore::Lane(lane) => lane.lane.mem_alloc(bytes),
+        }
         self.sample_mem();
     }
 
     /// Records `bytes` freed on this rank.
     pub fn mem_free(&mut self, bytes: u64) {
-        self.core.mem.free(self.rank, bytes);
+        match &mut self.core {
+            CtxCore::Serial(core) => core.mem.free(self.rank, bytes),
+            CtxCore::Lane(lane) => lane.lane.mem_free(self.rank, bytes),
+        }
         self.sample_mem();
     }
 
     fn sample_mem(&mut self) {
-        if let Some(obs) = &mut self.core.obs {
-            let cur = self.core.mem.current(self.rank);
-            obs.gauge_set(MetricId::MemCurrent, self.rank as u32, self.now, cur);
+        let now = self.now;
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                if let Some(obs) = &mut core.obs {
+                    let cur = core.mem.current(self.rank);
+                    obs.gauge_set(MetricId::MemCurrent, self.rank as u32, now, cur);
+                }
+            }
+            CtxCore::Lane(lane) => {
+                let cur = lane.lane.mem_cur;
+                lane.log_mem_gauge(now, cur);
+            }
         }
     }
 
     /// Current allocation on this rank.
     pub fn mem_current(&self) -> u64 {
-        self.core.mem.current(self.rank)
+        match &self.core {
+            CtxCore::Serial(core) => core.mem.current(self.rank),
+            CtxCore::Lane(lane) => lane.lane.mem_cur,
+        }
     }
 
     /// Declares that this handler reads logical state `key` (for the
@@ -474,16 +630,26 @@ impl<'a, M> Ctx<'a, M> {
     /// chosen — e.g. a read id, a tile index — and only compared for
     /// equality within one rank.
     pub fn race_read(&mut self, key: u64) {
-        if let Some(rd) = &mut self.core.races {
-            rd.access(key, false);
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                if let Some(rd) = &mut core.races {
+                    rd.access(key, false);
+                }
+            }
+            CtxCore::Lane(lane) => lane.log_race(key, false),
         }
     }
 
     /// Declares that this handler writes logical state `key` (see
     /// [`Ctx::race_read`]).
     pub fn race_write(&mut self, key: u64) {
-        if let Some(rd) = &mut self.core.races {
-            rd.access(key, true);
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                if let Some(rd) = &mut core.races {
+                    rd.access(key, true);
+                }
+            }
+            CtxCore::Lane(lane) => lane.log_race(key, true),
         }
     }
 
@@ -492,8 +658,14 @@ impl<'a, M> Ctx<'a, M> {
     /// recovery activity — retries, duplicate replies, give-ups — without
     /// the engine knowing their protocols.
     pub fn obs_instant(&mut self, kind: InstantKind, key: u64) {
-        if let Some(obs) = &mut self.core.obs {
-            obs.instant(self.rank, self.now, kind, key);
+        let now = self.now;
+        match &mut self.core {
+            CtxCore::Serial(core) => {
+                if let Some(obs) = &mut core.obs {
+                    obs.instant(self.rank, now, kind, key);
+                }
+            }
+            CtxCore::Lane(lane) => lane.log_instant(now, kind, key),
         }
     }
 }
@@ -554,6 +726,8 @@ impl SimReport {
 /// The simulation engine.
 pub struct Engine<M> {
     core: EngineCore<M>,
+    /// Worker shard count for the conservative-parallel mode; 1 = serial.
+    threads: usize,
 }
 
 impl<M> Engine<M> {
@@ -561,6 +735,7 @@ impl<M> Engine<M> {
     pub fn new(nranks: usize, net: NetParams) -> Engine<M> {
         assert!(nranks >= 1, "need at least one rank");
         Engine {
+            threads: 1,
             core: EngineCore {
                 queue: EventQueue::new(),
                 net: Network::new(net, nranks),
@@ -577,12 +752,24 @@ impl<M> Engine<M> {
                 msg_seq: 0,
                 dst_counts: vec![0; nranks],
                 fault_stats: FaultStats::default(),
-                dead: vec![false; nranks],
-                crash_marks: BTreeMap::new(),
+                membership: Membership::new(nranks),
                 races: None,
                 obs: None,
             },
         }
+    }
+
+    /// Sets the worker-shard count for the conservative-parallel engine
+    /// mode. `1` (the default) runs the reference serial loop. Any higher
+    /// count windows execution by the `intra_alpha_ns` lookahead and
+    /// merge-replays shard logs so the report stays byte-identical to the
+    /// serial engine (see DESIGN.md "Parallel engine"); configurations the
+    /// lookahead argument does not cover (a single rank, a zero intra-node
+    /// latency floor, or `alpha_ns < intra_alpha_ns`) fall back to serial.
+    pub fn with_threads(mut self, threads: usize) -> Engine<M> {
+        assert!(threads >= 1, "need at least one worker shard");
+        self.threads = threads;
+        self
     }
 
     /// Enables span tracing with the given capacity (see
@@ -640,7 +827,11 @@ impl<M> Engine<M> {
     /// # Panics
     /// Panics if `programs.len() != nranks`, or if a barrier is left
     /// incomplete at quiescence (a deadlocked program).
-    pub fn run<P: Program<M>>(mut self, programs: &mut [P]) -> SimReport {
+    pub fn run<P>(mut self, programs: &mut [P]) -> SimReport
+    where
+        P: Program<M> + Send,
+        M: Clone + Send,
+    {
         assert_eq!(
             programs.len(),
             self.core.nranks,
@@ -652,19 +843,11 @@ impl<M> Engine<M> {
         // (the payload is a placeholder, intercepted by seq before program
         // dispatch) and exist only when the plan carries crashes, so a
         // crash-free run pushes nothing here.
-        let scheduled: Vec<RankCrash> = self
-            .core
-            .fault
-            .as_ref()
-            .map(|f| f.crash.crashes.clone())
-            .unwrap_or_default();
-        for c in scheduled {
-            let seq = self.core.queue.push(c.at, c.rank, EventPayload::Start);
-            self.core.crash_marks.insert(seq, (c.rank, false));
-            if let Some(d) = c.rebirth {
-                let seq = self.core.queue.push(c.at + d, c.rank, EventPayload::Start);
-                self.core.crash_marks.insert(seq, (c.rank, true));
-            }
+        if let Some(plan) = membership::crash_plan(self.core.fault.as_ref()) {
+            let crashes = plan.crashes.clone();
+            self.core
+                .membership
+                .schedule(&mut self.core.queue, &crashes);
         }
         for r in 0..self.core.nranks {
             let seq = self.core.queue.push(SimTime::ZERO, r, EventPayload::Start);
@@ -672,140 +855,22 @@ impl<M> Engine<M> {
                 obs.on_push(seq, EdgeKind::Start, SimTime::ZERO, SimTime::ZERO);
             }
         }
-        while let Some(ev) = self.core.queue.pop_entry() {
-            let r = ev.dst;
-            // Crash/rebirth marks run ahead of every liveness/busy check:
-            // a crash is not deferred by a busy rank.
-            if let Some((rank, is_rebirth)) = self.core.crash_marks.remove(&ev.seq) {
-                let _ = self.core.queue.resolve(ev);
-                if is_rebirth {
-                    // The reborn incarnation starts idle: it serves new
-                    // traffic but nothing survives from before the crash.
-                    // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
-                    self.core.dead[rank] = false;
-                    // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
-                    self.core.busy_until[rank] = self.core.busy_until[rank].max(ev.time);
-                } else {
-                    // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
-                    self.core.dead[rank] = true;
-                    self.core.fault_stats.crashes += 1;
-                    if let Some(obs) = &mut self.core.obs {
-                        obs.instant(rank, ev.time, InstantKind::Crash, rank as u64);
-                    }
-                    // A pending barrier whose remaining entrants just died
-                    // must release now, or the survivors deadlock.
-                    let ids: Vec<u64> = self.core.barriers.keys().copied().collect();
-                    let required = self.core.required_ranks(ev.time);
-                    for id in ids {
-                        // gnb-lint: allow(panic-path, reason = "id was collected from barriers.keys() in this same iteration and nothing removes it in between")
-                        let st = &self.core.barriers[&id];
-                        if st.entered >= required {
-                            let max_entry = st.max_entry;
-                            self.core.barriers.remove(&id);
-                            self.core.push_barrier_done(id, max_entry, ev.time);
-                        }
-                    }
-                }
-                continue;
+        // The windowed-parallel mode is sound exactly when the network
+        // gives a positive intra-node latency floor that every delivery
+        // (and, via `alpha_ns ≥ intra_alpha_ns` with ≥ 2 ranks, every
+        // barrier release) respects — see DESIGN.md "Parallel engine".
+        // Anything else runs the reference serial loop.
+        let p = self.core.net.params;
+        let parallel = self.threads > 1
+            && self.core.nranks >= 2
+            && p.intra_alpha_ns > 0
+            && p.alpha_ns >= p.intra_alpha_ns;
+        if parallel {
+            par::run_windows(&mut self.core, programs, self.threads);
+        } else {
+            while let Some(ev) = self.core.queue.pop_entry() {
+                serial_step(&mut self.core, programs, ev);
             }
-            // Events addressed to a dead rank are discarded, not dispatched.
-            // gnb-lint: allow(panic-path, reason = "every event's dst was bounds-checked against nranks when it was pushed")
-            if self.core.dead[r] {
-                let _ = self.core.queue.resolve(ev);
-                self.core.fault_stats.crash_events_dropped += 1;
-                continue;
-            }
-            // gnb-lint: allow(panic-path, reason = "every event's dst was bounds-checked against nranks when it was pushed")
-            let busy = self.core.busy_until[r];
-            if busy > ev.time {
-                // A deferral that would carry the event across the rank's
-                // own crash (into a later incarnation) kills it instead:
-                // run-to-completion ends at the handler boundary, and the
-                // next incarnation never sees its predecessor's backlog.
-                if self.core.crash_dooms(r, r, ev.time, busy) {
-                    let _ = self.core.queue.resolve(ev);
-                    self.core.fault_stats.crash_events_dropped += 1;
-                    continue;
-                }
-                // Rank still busy: defer until it frees up. Re-queuing (not
-                // executing late) keeps global execution monotone in
-                // virtual time, which the network model relies on. The
-                // payload stays put in the arena — deferral costs one heap
-                // entry, no payload churn.
-                let new_seq = self.core.queue.requeue(ev, busy);
-                if let Some(obs) = &mut self.core.obs {
-                    obs.on_requeue(ev.seq, new_seq);
-                }
-                continue;
-            }
-            // Transient stall: the rank is frozen when this event would
-            // run. Book the freeze as recovery time (extending busy_until
-            // so the gap is not double counted as idle) and retry the
-            // event at the thaw.
-            if let Some(f) = &self.core.fault {
-                let at = ev.time.max(busy);
-                if let Some(thaw) = f.stall_until(r, at) {
-                    if thaw > at {
-                        let frozen = thaw - at;
-                        // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
-                        self.core.ledger[r][TimeCategory::Recovery as usize] += frozen;
-                        self.core.fault_stats.stall_events += 1;
-                        self.core.fault_stats.stall_time += frozen;
-                        if let Some(trace) = &mut self.core.trace {
-                            trace.record(r, at, thaw, TimeCategory::Recovery);
-                        }
-                        // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
-                        self.core.busy_until[r] = thaw;
-                        // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
-                        self.core.finish[r] = self.core.finish[r].max(thaw);
-                        let new_seq = self.core.queue.requeue(ev, thaw);
-                        if let Some(obs) = &mut self.core.obs {
-                            // The freeze happens outside any handler: the
-                            // span lands on no node, plus a stall interval
-                            // for the critical-path walker.
-                            obs.on_advance(r, at, thaw, TimeCategory::Recovery);
-                            obs.on_stall(r, at, thaw);
-                            obs.on_requeue(ev.seq, new_seq);
-                        }
-                        continue;
-                    }
-                }
-            }
-            let idle = ev.time.saturating_sub(busy);
-            if let Some(rd) = &mut self.core.races {
-                rd.begin_event(r, ev.time, ev.seq);
-            }
-            if let Some(obs) = &mut self.core.obs {
-                obs.begin_dispatch(r, ev.time, ev.seq, self.core.queue.len());
-            }
-            let payload = self.core.queue.resolve(ev);
-            let mut ctx = Ctx {
-                core: &mut self.core,
-                rank: r,
-                now: ev.time,
-                idle_pending: idle,
-                scope: None,
-            };
-            match payload {
-                // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
-                EventPayload::Start => programs[r].on_start(&mut ctx),
-                // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
-                EventPayload::Message { src, msg } => programs[r].on_message(&mut ctx, src, msg),
-                // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
-                EventPayload::BarrierDone { id } => programs[r].on_barrier(&mut ctx, id),
-            }
-            let end = ctx.now;
-            let leftover_idle = ctx.idle_pending;
-            // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
-            self.core.unclassified_idle[r] += leftover_idle;
-            if let Some(obs) = &mut self.core.obs {
-                obs.end_dispatch(end);
-            }
-            // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
-            self.core.busy_until[r] = end;
-            // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
-            self.core.finish[r] = self.core.finish[r].max(end);
-            self.core.events_processed += 1;
         }
         assert!(
             self.core.barriers.is_empty(),
@@ -845,6 +910,129 @@ impl<M> Engine<M> {
             events: self.core.events_processed,
         }
     }
+}
+
+/// One iteration of the reference serial loop: route a popped event
+/// through membership, liveness, CPU-queueing and stall checks, then
+/// dispatch the handler. The parallel mode's shard chains and merge-replay
+/// reproduce exactly this step's effects (see `crate::par`).
+fn serial_step<M, P: Program<M>>(core: &mut EngineCore<M>, programs: &mut [P], ev: QueuedEvent) {
+    let r = ev.dst;
+    // Crash/rebirth marks run ahead of every liveness/busy check:
+    // a crash is not deferred by a busy rank.
+    if let Some(mark) = core.membership.take_mark(ev.seq) {
+        let _ = core.queue.resolve(ev);
+        if mark.rebirth {
+            // The reborn incarnation starts idle: it serves new
+            // traffic but nothing survives from before the crash.
+            // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
+            core.membership.dead[mark.rank] = false;
+            // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
+            core.busy_until[mark.rank] = core.busy_until[mark.rank].max(ev.time);
+        } else {
+            // gnb-lint: allow(panic-path, reason = "crash marks record rank ids validated when the crash plan was installed; per-rank vectors have nranks entries")
+            core.membership.dead[mark.rank] = true;
+            core.exec_death(mark.rank, ev.time);
+        }
+        return;
+    }
+    // Events addressed to a dead rank are discarded, not dispatched.
+    // gnb-lint: allow(panic-path, reason = "every event's dst was bounds-checked against nranks when it was pushed")
+    if core.membership.dead[r] {
+        let _ = core.queue.resolve(ev);
+        core.fault_stats.crash_events_dropped += 1;
+        return;
+    }
+    // gnb-lint: allow(panic-path, reason = "every event's dst was bounds-checked against nranks when it was pushed")
+    let busy = core.busy_until[r];
+    if busy > ev.time {
+        // A deferral that would carry the event across the rank's
+        // own crash (into a later incarnation) kills it instead:
+        // run-to-completion ends at the handler boundary, and the
+        // next incarnation never sees its predecessor's backlog.
+        if core.crash_dooms(r, r, ev.time, busy) {
+            let _ = core.queue.resolve(ev);
+            core.fault_stats.crash_events_dropped += 1;
+            return;
+        }
+        // Rank still busy: defer until it frees up. Re-queuing (not
+        // executing late) keeps global execution monotone in
+        // virtual time, which the network model relies on. The
+        // payload stays put in the arena — deferral costs one heap
+        // entry, no payload churn.
+        let new_seq = core.queue.requeue(ev, busy);
+        if let Some(obs) = &mut core.obs {
+            obs.on_requeue(ev.seq, new_seq);
+        }
+        return;
+    }
+    // Transient stall: the rank is frozen when this event would
+    // run. Book the freeze as recovery time (extending busy_until
+    // so the gap is not double counted as idle) and retry the
+    // event at the thaw.
+    if let Some(f) = &core.fault {
+        let at = ev.time.max(busy);
+        if let Some(thaw) = f.stall_until(r, at) {
+            if thaw > at {
+                let frozen = thaw - at;
+                // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
+                core.ledger[r][TimeCategory::Recovery as usize] += frozen;
+                core.fault_stats.stall_events += 1;
+                core.fault_stats.stall_time += frozen;
+                if let Some(trace) = &mut core.trace {
+                    trace.record(r, at, thaw, TimeCategory::Recovery);
+                }
+                // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
+                core.busy_until[r] = thaw;
+                // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
+                core.finish[r] = core.finish[r].max(thaw);
+                let new_seq = core.queue.requeue(ev, thaw);
+                if let Some(obs) = &mut core.obs {
+                    // The freeze happens outside any handler: the
+                    // span lands on no node, plus a stall interval
+                    // for the critical-path walker.
+                    obs.on_advance(r, at, thaw, TimeCategory::Recovery);
+                    obs.on_stall(r, at, thaw);
+                    obs.on_requeue(ev.seq, new_seq);
+                }
+                return;
+            }
+        }
+    }
+    let idle = ev.time.saturating_sub(busy);
+    if let Some(rd) = &mut core.races {
+        rd.begin_event(r, ev.time, ev.seq);
+    }
+    if let Some(obs) = &mut core.obs {
+        obs.begin_dispatch(r, ev.time, ev.seq, core.queue.len());
+    }
+    let payload = core.queue.resolve(ev);
+    let mut ctx = Ctx {
+        core: CtxCore::Serial(core),
+        rank: r,
+        now: ev.time,
+        idle_pending: idle,
+        scope: None,
+    };
+    match payload {
+        // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
+        EventPayload::Start => programs[r].on_start(&mut ctx),
+        // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
+        EventPayload::Message { src, msg } => programs[r].on_message(&mut ctx, src, msg),
+        // gnb-lint: allow(panic-path, reason = "run() asserts programs.len() == nranks at entry; the event's dst was bounds-checked when pushed")
+        EventPayload::BarrierDone { id } => programs[r].on_barrier(&mut ctx, id),
+    }
+    let (end, leftover_idle) = ctx.into_end();
+    // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
+    core.unclassified_idle[r] += leftover_idle;
+    if let Some(obs) = &mut core.obs {
+        obs.end_dispatch(end);
+    }
+    // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
+    core.busy_until[r] = end;
+    // gnb-lint: allow(panic-path, reason = "per-rank vectors have nranks entries and the event's dst was bounds-checked when pushed")
+    core.finish[r] = core.finish[r].max(end);
+    core.events_processed += 1;
 }
 
 #[cfg(test)]

@@ -90,6 +90,19 @@ pub enum TieBreak {
     Lifo,
 }
 
+impl TieBreak {
+    /// The heap ordering key for a sequence number under this policy:
+    /// events sharing a virtual time pop in ascending `order(seq)`. This is
+    /// the single definition of the tie-break; the parallel engine's
+    /// shard-local merge uses it to reproduce the serial pop order.
+    pub fn order(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => u64::MAX - seq,
+        }
+    }
+}
+
 /// Heap entry: `key` bakes in the tie-break policy chosen at push time so
 /// the `BinaryHeap` ordering stays a plain lexicographic compare. `Copy` —
 /// the payload stays in the arena, referenced by `slot`.
@@ -218,12 +231,8 @@ impl<M> EventQueue<M> {
     /// sequence number (the shared tail of `push` and `requeue`).
     fn push_slot(&mut self, time: SimTime, dst: usize, slot: u32) -> u64 {
         debug_assert!(dst < u32::MAX as usize, "rank id out of range");
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let order = match self.tie_break {
-            TieBreak::Fifo => seq,
-            TieBreak::Lifo => u64::MAX - seq,
-        };
+        let seq = self.alloc_seq();
+        let order = self.tie_break.order(seq);
         self.heap.push(HeapEntry {
             key: (time, order),
             time,
@@ -232,6 +241,23 @@ impl<M> EventQueue<M> {
             slot,
         });
         seq
+    }
+
+    /// Burns the next sequence number without enqueueing anything. The
+    /// parallel engine's merge-replay uses this to account for events that
+    /// were pushed *and* consumed inside one lookahead window on a shard:
+    /// the serial engine would have assigned them a sequence number at this
+    /// exact point, so the counter must advance identically for every later
+    /// assignment to line up.
+    pub(crate) fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Virtual time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
     }
 
     /// Pops the earliest event as an arena handle. The payload stays in

@@ -45,8 +45,10 @@ pub mod event;
 pub mod export;
 pub mod fault;
 pub mod mem;
+mod membership;
 pub mod net;
 pub mod obs;
+mod par;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,160 @@
+//! Crash-stop membership bookkeeping, shared by the serial dispatch loop
+//! and the sharded parallel engine (`crate::par`).
+//!
+//! The serial engine used to mix liveness flags, crash/rebirth mark
+//! routing and the pure crash-plan predicates into its dispatch loop.
+//! Extracting them here means the parallel engine's shard workers and its
+//! merge-replay coordinator consult the *same* definitions — the two modes
+//! cannot drift on who is dead when, which events a crash dooms, or how
+//! many entrants a barrier must collect.
+//!
+//! Everything that depends only on the installed [`CrashPlan`] is a pure
+//! function of `(plan, time)`, so shard workers can evaluate it without
+//! any shared mutable state; only the `dead` flags and the pending-mark
+//! table are stateful, and those live on whichever side owns the rank at
+//! that moment (the engine core serially, a rank lane inside a window).
+
+use crate::event::{EventPayload, EventQueue};
+use crate::fault::{CrashPlan, FaultPlan, RankCrash};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// One scheduled crash or rebirth mark: an engine-internal queue event
+/// identified by its sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Mark {
+    /// The crashing / reborn rank.
+    pub rank: usize,
+    /// `true` for the rebirth edge of a crash window.
+    pub rebirth: bool,
+    /// Virtual time the mark fires.
+    pub time: SimTime,
+}
+
+/// Liveness flags plus the pending crash/rebirth mark table.
+#[derive(Debug)]
+pub(crate) struct Membership {
+    /// `dead[r]` while rank `r` sits inside a scheduled death window. Only
+    /// consulted when the installed plan carries crashes, so crash-free
+    /// runs stay bit-identical.
+    pub(crate) dead: Vec<bool>,
+    /// Engine-internal crash/rebirth marks: queue seq → mark. Marks are
+    /// intercepted before program dispatch, so the public
+    /// [`EventPayload`] enum is unchanged.
+    pub(crate) marks: BTreeMap<u64, Mark>,
+}
+
+impl Membership {
+    pub(crate) fn new(nranks: usize) -> Membership {
+        Membership {
+            dead: vec![false; nranks],
+            marks: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules every crash/rebirth mark from `crashes` into `queue`.
+    /// Marks are pushed before the rank `Start` events so a crash at the
+    /// same virtual time as a program event wins the FIFO tie-break and
+    /// the dead rank never dispatches it.
+    pub(crate) fn schedule<M>(&mut self, queue: &mut EventQueue<M>, crashes: &[RankCrash]) {
+        for c in crashes {
+            let seq = queue.push(c.at, c.rank, EventPayload::Start);
+            self.marks.insert(
+                seq,
+                Mark {
+                    rank: c.rank,
+                    rebirth: false,
+                    time: c.at,
+                },
+            );
+            if let Some(d) = c.rebirth {
+                let seq = queue.push(c.at + d, c.rank, EventPayload::Start);
+                self.marks.insert(
+                    seq,
+                    Mark {
+                        rank: c.rank,
+                        rebirth: true,
+                        time: c.at + d,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Takes the mark for `seq`, if `seq` identifies one.
+    pub(crate) fn take_mark(&mut self, seq: u64) -> Option<Mark> {
+        self.marks.remove(&seq)
+    }
+
+    /// Earliest pending *death* mark (rebirths are benign: they touch only
+    /// rank-local state). The parallel engine shrinks its window to a
+    /// single event while a death is inside the lookahead horizon, because
+    /// a death can release a long-pending barrier at a time *before* the
+    /// current window (the release is derived from old entry times).
+    pub(crate) fn min_pending_death(&self) -> Option<SimTime> {
+        self.marks
+            .values()
+            .filter(|m| !m.rebirth)
+            .map(|m| m.time)
+            .min()
+    }
+}
+
+/// Whether `plan` schedules at least one crash. Every crash-stop code path
+/// is gated on this so that runs without a crash plan stay bit-identical
+/// to the pre-crash engine.
+pub(crate) fn crashes_scheduled(fault: Option<&FaultPlan>) -> bool {
+    fault.is_some_and(|f| !f.crash.is_empty())
+}
+
+/// Crash-stop wire semantics: a message (or self-timer) pushed at `now`
+/// for delivery at `sched` dies on the wire if either endpoint is dead at
+/// delivery or crosses an incarnation boundary in between — in-flight
+/// traffic does not survive a crash, and a reborn rank never sees its
+/// previous incarnation's traffic.
+pub(crate) fn crash_dooms(
+    fault: Option<&FaultPlan>,
+    src: usize,
+    dst: usize,
+    now: SimTime,
+    sched: SimTime,
+) -> bool {
+    match fault {
+        Some(f) if !f.crash.is_empty() => {
+            let c = &f.crash;
+            c.is_dead(src, sched)
+                || c.incarnation(src, now) != c.incarnation(src, sched)
+                || c.is_dead(dst, sched)
+                || c.incarnation(dst, now) != c.incarnation(dst, sched)
+        }
+        _ => false,
+    }
+}
+
+/// Number of ranks a barrier must collect at time `t`: every rank whose
+/// crash has not fired yet. Crashed ranks are excluded *permanently*
+/// (crash-stop group membership — a reborn rank serves traffic again but
+/// never rejoins collectives).
+pub(crate) fn required_ranks(fault: Option<&FaultPlan>, nranks: usize, t: SimTime) -> usize {
+    match fault {
+        Some(f) if !f.crash.is_empty() => {
+            (0..nranks).filter(|&r| !f.crash.crashed_by(r, t)).count()
+        }
+        _ => nranks,
+    }
+}
+
+/// Whether a handler running at `now` on `rank` started before the rank's
+/// crash but has virtually outlived it (used to suppress barrier entries
+/// from a rank that died mid-handler).
+pub(crate) fn crashed_by(fault: Option<&FaultPlan>, rank: usize, now: SimTime) -> bool {
+    fault.is_some_and(|f| f.crash.crashed_by(rank, now))
+}
+
+/// The crash plan carried by `fault`, when one is installed and non-empty.
+pub(crate) fn crash_plan(fault: Option<&FaultPlan>) -> Option<&CrashPlan> {
+    match fault {
+        Some(f) if !f.crash.is_empty() => Some(&f.crash),
+        _ => None,
+    }
+}
