@@ -93,6 +93,9 @@ fn align_one(
             params.x,
             &params.criteria,
         ),
+        // The batched kernel is a whole-batch engine, not a per-candidate
+        // one: `align_batch` routes to its own driver before reaching here.
+        KernelImpl::Batched => unreachable!("Batched is handled by align_batch_batched"),
     }
 }
 
@@ -106,6 +109,12 @@ fn align_one(
 /// after the rest of the pool drains. Results are scattered back to input
 /// order before returning, making the schedule unobservable.
 pub fn align_batch(reads: &ReadSet, tasks: &[Candidate], params: &AlignParams) -> BatchOutcome {
+    if params.kernel == KernelImpl::Batched {
+        // The inter-sequence engine schedules the whole batch itself
+        // (length buckets + lane refill) — same longest-first order, same
+        // input-order records, bit-identical results.
+        return crate::interseq::align_batch_batched(reads, tasks, params);
+    }
     // gnb-lint: allow(wall-clock, reason = "measures real alignment wall time; deterministic outputs are the records, not the timing")
     let start = std::time::Instant::now();
     let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
@@ -262,8 +271,18 @@ mod tests {
                 ..params()
             },
         );
+        let batched = align_batch(
+            &reads,
+            &cands,
+            &AlignParams {
+                kernel: crate::KernelImpl::Batched,
+                ..params()
+            },
+        );
         assert_eq!(scalar.records, packed.records);
         assert_eq!(scalar.total_cells, packed.total_cells);
+        assert_eq!(scalar.records, batched.records);
+        assert_eq!(scalar.total_cells, batched.total_cells);
     }
 
     #[test]

@@ -102,6 +102,37 @@ pub fn measure_cell_rate_for(kernel: KernelImpl, target_cells: u64) -> CellRate 
                 cells,
             }
         }
+        KernelImpl::Batched => {
+            // The batched engine's throughput depends on lane occupancy, so
+            // calibrate it the way batches actually run: a full cohort of
+            // pairs per call (the calibration pair replicated across the
+            // widest lane count).
+            let pa = PackedSeq::from_bytes(&a);
+            let pb = PackedSeq::from_bytes(&b);
+            let pairs: Vec<_> = (0..crate::interseq::MAX_LANES)
+                .map(|_| {
+                    (
+                        PackedView::full(pa.as_slice()),
+                        PackedView::full(pb.as_slice()),
+                    )
+                })
+                .collect();
+            let mut aligner = crate::interseq::BatchedXDropAligner::new();
+            let _ = aligner.extend_batch(&pairs, &sc, 50);
+            // gnb-lint: allow(wall-clock, reason = "calibration exists to measure the real host clock")
+            let start = Instant::now();
+            let mut cells = 0u64;
+            while cells < target_cells {
+                for ext in aligner.extend_batch(&pairs, &sc, 50) {
+                    cells += ext.cells;
+                }
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            CellRate {
+                host_cells_per_sec: cells as f64 / secs,
+                cells,
+            }
+        }
     }
 }
 

@@ -32,6 +32,7 @@ pub mod affine;
 pub mod banded;
 pub mod batch;
 pub mod calibrate;
+pub mod interseq;
 pub mod nw;
 pub mod packed;
 pub mod scoring;
@@ -40,6 +41,9 @@ pub mod sw;
 pub mod xdrop;
 
 pub use batch::{align_batch, BatchOutcome};
+pub use interseq::{
+    BatchPlan, BatchStats, BatchedXDropAligner, BucketDesc, IsaPath, LengthBuckets,
+};
 pub use packed::{PackedView, PackedXDropAligner};
 pub use scoring::ScoringScheme;
 pub use seed_extend::{align_candidate, AcceptCriteria, AlignmentRecord, Candidate, OverlapClass};
@@ -47,11 +51,11 @@ pub use xdrop::{xdrop_extend, Extension, XDropAligner};
 
 /// Which X-drop kernel implementation a batch runs.
 ///
-/// Both return bit-identical [`Extension`]s on DNA-with-N inputs (the
-/// packed kernel asserts this contract via the equivalence proptests);
-/// selection is therefore a pure performance choice. The scalar kernel is
-/// retained as the reference implementation and as the fallback for
-/// sequences that are not valid `{A,C,G,T,N}` DNA.
+/// All variants return bit-identical [`Extension`]s on DNA-with-N inputs
+/// (the packed and batched kernels assert this contract via equivalence
+/// proptests); selection is therefore a pure performance choice. The scalar
+/// kernel is retained as the reference implementation and as the fallback
+/// for sequences that are not valid `{A,C,G,T,N}` DNA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum KernelImpl {
     /// Byte-at-a-time reference kernel ([`XDropAligner`]).
@@ -59,4 +63,7 @@ pub enum KernelImpl {
     /// 2-bit packed, branch-reduced kernel ([`PackedXDropAligner`]).
     #[default]
     Packed,
+    /// Inter-sequence batched kernel ([`BatchedXDropAligner`]): many pairs
+    /// per SIMD register, scheduled over length buckets with lane refill.
+    Batched,
 }

@@ -190,10 +190,10 @@ pub fn align_candidate_with(
 }
 
 /// Builds the final record from the seed score and the two extensions —
-/// shared by the scalar and packed paths so their outputs stay structurally
-/// identical by construction.
+/// shared by the scalar, packed, and batched paths so their outputs stay
+/// structurally identical by construction.
 #[allow(clippy::too_many_arguments)]
-fn assemble_record(
+pub(crate) fn assemble_record(
     cand: &Candidate,
     seed_score: i32,
     left: &Extension,
@@ -230,25 +230,36 @@ fn assemble_record(
     }
 }
 
-/// Packed-kernel variant of [`align_candidate_with`]: same candidate
-/// workflow over packed reads, returning a bit-identical record. Strand
-/// normalisation and the left extension's reversal are O(1) view
-/// constructions (no reverse-complement buffer is materialised), and the
-/// seed is scored directly from the 2-bit codes.
+/// Strand-normalised packed geometry of a candidate: the views and seed
+/// score every packed-input path (per-candidate and batched) starts from.
+/// Factored out so the batched driver slices its extension tasks exactly
+/// as the per-candidate packed path does.
+pub(crate) struct CandidateGeometry<'a> {
+    /// Forward view of read `a`.
+    pub a: PackedView<'a>,
+    /// Strand-normalised view of read `b` (reverse-complemented for
+    /// opposite-orientation candidates).
+    pub b_norm: PackedView<'a>,
+    /// Seed start in `a`.
+    pub a_pos: usize,
+    /// Seed start in `b_norm` (mirrored for opposite-orientation).
+    pub b_pos: usize,
+    /// Score of the fixed seed window.
+    pub seed_score: i32,
+}
+
+/// Computes the strand-normalised geometry and seed score of a candidate
+/// over packed reads.
 ///
 /// # Panics
 /// Panics if the seed windows fall outside the reads (a corrupt candidate).
-#[allow(clippy::too_many_arguments)]
-pub fn align_candidate_packed_with(
-    scratch: &mut SeedExtendScratch,
-    seq_a: PackedSlice<'_>,
-    seq_b: PackedSlice<'_>,
+pub(crate) fn packed_candidate_geometry<'a>(
+    seq_a: PackedSlice<'a>,
+    seq_b: PackedSlice<'a>,
     cand: &Candidate,
     k: usize,
     sc: &ScoringScheme,
-    x: i32,
-    criteria: &AcceptCriteria,
-) -> AlignmentRecord {
+) -> CandidateGeometry<'a> {
     let a_pos = cand.a_pos as usize;
     assert!(a_pos + k <= seq_a.len, "seed outside read a");
     assert!(
@@ -277,23 +288,53 @@ pub fn align_candidate_packed_with(
         seed_score += if same { sc.match_score } else { sc.mismatch };
     }
 
+    CandidateGeometry {
+        a,
+        b_norm,
+        a_pos,
+        b_pos,
+        seed_score,
+    }
+}
+
+/// Packed-kernel variant of [`align_candidate_with`]: same candidate
+/// workflow over packed reads, returning a bit-identical record. Strand
+/// normalisation and the left extension's reversal are O(1) view
+/// constructions (no reverse-complement buffer is materialised), and the
+/// seed is scored directly from the 2-bit codes.
+///
+/// # Panics
+/// Panics if the seed windows fall outside the reads (a corrupt candidate).
+#[allow(clippy::too_many_arguments)]
+pub fn align_candidate_packed_with(
+    scratch: &mut SeedExtendScratch,
+    seq_a: PackedSlice<'_>,
+    seq_b: PackedSlice<'_>,
+    cand: &Candidate,
+    k: usize,
+    sc: &ScoringScheme,
+    x: i32,
+    criteria: &AcceptCriteria,
+) -> AlignmentRecord {
+    let g = packed_candidate_geometry(seq_a, seq_b, cand, k, sc);
+
     let right = scratch
         .packed
-        .extend(a.suffix(a_pos + k), b_norm.suffix(b_pos + k), sc, x);
+        .extend(g.a.suffix(g.a_pos + k), g.b_norm.suffix(g.b_pos + k), sc, x);
     let left = scratch
         .packed
-        .extend(a.rev_prefix(a_pos), b_norm.rev_prefix(b_pos), sc, x);
+        .extend(g.a.rev_prefix(g.a_pos), g.b_norm.rev_prefix(g.b_pos), sc, x);
 
     assemble_record(
         cand,
-        seed_score,
+        g.seed_score,
         &left,
         &right,
-        a_pos,
-        b_pos,
+        g.a_pos,
+        g.b_pos,
         k,
         seq_a.len,
-        b_norm.len(),
+        g.b_norm.len(),
         criteria,
     )
 }

@@ -158,6 +158,45 @@ fn packed_kernel_drives_identical_simulations() {
     assert!(checksums.windows(2).all(|p| p[0] == p[1]), "{checksums:x?}");
 }
 
+/// The inter-sequence batched kernel slots into the same chain: its bucketed
+/// lane-refill schedule produces record-identical batch outcomes to the
+/// scalar reference (same tasks, same cells, same accepted set), and the
+/// workload derived from the batched-kernel run drives all three
+/// coordination strategies to one checksum. Like `Packed`, `Batched` is a
+/// pure performance choice — nothing downstream can tell which one ran.
+#[test]
+fn batched_kernel_drives_identical_simulations() {
+    let preset = presets::ecoli_30x().scaled(1024);
+    let reads = preset.generate(91);
+    let base = PipelineParams::new(preset.coverage, preset.errors.total_rate());
+    let with_kernel = |kernel| PipelineParams {
+        align: AlignParams {
+            kernel,
+            ..base.align
+        },
+        ..base
+    };
+    let scalar = run_pipeline(&reads, &with_kernel(KernelImpl::Scalar));
+    let batched = run_pipeline(&reads, &with_kernel(KernelImpl::Batched));
+    assert!(!batched.tasks.is_empty());
+    assert_eq!(scalar.tasks, batched.tasks);
+    assert_eq!(scalar.outcome.records, batched.outcome.records);
+    assert_eq!(scalar.outcome.total_cells, batched.outcome.total_cells);
+
+    let m = machine(2, 4);
+    let lengths = reads.lengths();
+    let w = SimWorkload::prepare(&lengths, &batched.tasks, &batched.overlaps, m.nranks());
+    w.validate();
+    let cfg = RunConfig::default();
+    let mut checksums = Vec::new();
+    for algo in Algorithm::ALL {
+        let r = run_sim(&w, &m, algo, &cfg);
+        assert_eq!(r.tasks_done as usize, batched.tasks.len(), "{algo}");
+        checksums.push(r.task_checksum);
+    }
+    assert!(checksums.windows(2).all(|p| p[0] == p[1]), "{checksums:x?}");
+}
+
 #[test]
 fn rpc_window_is_performance_only() {
     let m = machine(2, 8);
